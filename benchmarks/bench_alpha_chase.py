@@ -1,0 +1,131 @@
+"""The α-chase engine and CWA-presolution recognition -- Section 4/6.
+
+Measures the machinery this paper introduces:
+
+* α-chase throughput under the three regimes of Example 4.4 (success,
+  failure, divergence detection),
+* oblivious (fresh-α) chase scaling on richly acyclic, egd-free settings
+  (where it is guaranteed to terminate),
+* the NP recognition procedure ``is_cwa_presolution`` on growing
+  instances (end of Section 6: the problem is in NP for weakly acyclic
+  settings; our backtracking recognizer is the witness search).
+"""
+
+import time
+
+import pytest
+
+from repro.chase import ExplicitAlpha, alpha_chase, oblivious_chase
+from repro.core import Const, Null, NullFactory, Schema
+from repro.cwa import is_cwa_presolution
+from repro.exchange import DataExchangeSetting
+from repro.generators import star_source
+from repro.generators.settings_library import (
+    example_2_1_setting,
+    example_2_1_source,
+)
+from repro.logic import parse_instance
+
+from conftest import fit_polynomial_degree
+
+
+def _example_alpha(setting):
+    d1, d2 = setting.st_dependencies
+    d3, d4 = setting.target_dependencies
+
+    def values(*items):
+        return tuple(
+            Null(i) if isinstance(i, int) else Const(i) for i in items
+        )
+
+    return ExplicitAlpha(
+        {
+            (d2, values("a"), values("b")): values(1, 3),
+            (d2, values("a"), values("c")): values(2, 3),
+            (d3, values(3), values("a")): values(4),
+        },
+        fallback=NullFactory(100),
+    )
+
+
+class TestAlphaChaseRegimes:
+    def test_example_4_4_regimes(self, benchmark, report):
+        setting = example_2_1_setting()
+        source = example_2_1_source()
+        dependencies = list(setting.all_dependencies)
+        table = report.table(
+            "α-chase regimes (Example 4.4)",
+            ("alpha", "status", "steps"),
+        )
+        outcome = alpha_chase(source, dependencies, _example_alpha(setting))
+        table.row("α1", outcome.status.value, outcome.steps)
+        assert outcome.successful
+        benchmark(
+            lambda: alpha_chase(
+                source, dependencies, _example_alpha(setting)
+            )
+        )
+
+
+class TestObliviousScaling:
+    def test_oblivious_chase_scales(self, benchmark, report):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(N=2),
+            Schema.of(F=2, G=2),
+            ["N(x, y) -> exists z . F(x, z)"],
+            ["F(x, z) -> exists w . G(z, w)"],
+        )
+        table = report.table(
+            "Oblivious (fresh-α) chase on star sources",
+            ("rays", "steps", "seconds"),
+        )
+        sizes, times = [], []
+        for rays in (8, 16, 32, 64):
+            source = star_source(rays)
+            started = time.perf_counter()
+            outcome, _ = oblivious_chase(
+                source, list(setting.all_dependencies)
+            )
+            elapsed = time.perf_counter() - started
+            assert outcome.successful
+            sizes.append(rays)
+            times.append(elapsed)
+            table.row(rays, outcome.steps, f"{elapsed:.4f}")
+        slope = fit_polynomial_degree(sizes, times)
+        table.row("slope", "", f"{slope:.2f}")
+        assert slope < 4.0
+        benchmark(
+            lambda: oblivious_chase(
+                star_source(16), list(setting.all_dependencies)
+            )
+        )
+
+
+class TestRecognitionScaling:
+    def test_presolution_recognition(self, benchmark, report):
+        """Recognizing the oblivious-chase result as a CWA-presolution:
+        the NP witness search, measured on growing stars."""
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(N=2),
+            Schema.of(F=2),
+            ["N(x, y) -> exists z . F(x, z)"],
+        )
+        table = report.table(
+            "is_cwa_presolution on oblivious-chase results",
+            ("rays", "|T|", "recognized", "seconds"),
+        )
+        for rays in (4, 8, 16, 32):
+            source = star_source(rays)
+            outcome, _ = oblivious_chase(
+                source, list(setting.all_dependencies)
+            )
+            target = outcome.require_success().reduct(setting.target_schema)
+            started = time.perf_counter()
+            recognized = is_cwa_presolution(setting, source, target)
+            elapsed = time.perf_counter() - started
+            table.row(rays, len(target), recognized, f"{elapsed:.4f}")
+            assert recognized
+        source = star_source(8)
+        outcome, _ = oblivious_chase(source, list(setting.all_dependencies))
+        target = outcome.require_success().reduct(setting.target_schema)
+        benchmark(is_cwa_presolution, setting, source, target)

@@ -1,0 +1,110 @@
+"""Chase and core scaling -- the engine behind Proposition 6.6.
+
+Proposition 6.6's PTIME procedure is: standard chase (polynomially many
+steps for weakly acyclic settings), then the core.  This module measures
+both stages separately on two scalable families:
+
+* the scaled Example 2.1 family (random M/N facts over a growing pool),
+* the cascade family R0 → R1 → ... → Rk (chase depth grows with k).
+"""
+
+import time
+
+import pytest
+
+from repro.chase import standard_chase
+from repro.exchange import solve
+from repro.generators import (
+    chain_setting,
+    chain_source,
+    example_2_1_scaled_source,
+)
+from repro.generators.settings_library import example_2_1_setting
+from repro.homomorphism import core
+
+from conftest import fit_polynomial_degree
+
+
+class TestChaseScaling:
+    def test_chase_scales_polynomially_in_source(self, benchmark, report):
+        setting = example_2_1_setting()
+        dependencies = list(setting.all_dependencies)
+        table = report.table(
+            "Standard chase on scaled Example 2.1",
+            ("|S|", "chase steps", "|result|", "seconds"),
+        )
+        sizes, times = [], []
+        for pairs in (8, 16, 32, 64, 128):
+            source = example_2_1_scaled_source(pairs, seed=3)
+            started = time.perf_counter()
+            outcome = standard_chase(source, dependencies)
+            elapsed = time.perf_counter() - started
+            assert outcome.successful
+            sizes.append(len(source))
+            times.append(elapsed)
+            table.row(
+                len(source), outcome.steps, len(outcome.instance), f"{elapsed:.4f}"
+            )
+        slope = fit_polynomial_degree(sizes, times)
+        table.row("slope", f"{slope:.2f}", "", "")
+        assert slope < 4.0
+        benchmark(
+            standard_chase, example_2_1_scaled_source(32, seed=3), dependencies
+        )
+
+    def test_chase_scales_with_cascade_depth(self, benchmark, report):
+        table = report.table(
+            "Standard chase on the cascade family (depth sweep)",
+            ("depth", "chase steps", "seconds"),
+        )
+        source = chain_source(3)
+        for depth in (2, 4, 8, 16):
+            setting = chain_setting(depth)
+            started = time.perf_counter()
+            outcome = standard_chase(source, list(setting.all_dependencies))
+            elapsed = time.perf_counter() - started
+            assert outcome.successful
+            table.row(depth, outcome.steps, f"{elapsed:.4f}")
+        benchmark(
+            standard_chase,
+            chain_source(3),
+            list(chain_setting(8).all_dependencies),
+        )
+
+
+class TestCoreScaling:
+    def test_core_scales_on_chase_results(self, benchmark, report):
+        setting = example_2_1_setting()
+        table = report.table(
+            "Core computation on canonical solutions (Prop. 6.6 stage 2)",
+            ("|canonical|", "|core|", "#nulls folded", "seconds"),
+        )
+        sizes, times = [], []
+        for pairs in (8, 16, 32, 64):
+            source = example_2_1_scaled_source(pairs, seed=5)
+            canonical = setting.canonical_universal_solution(source)
+            started = time.perf_counter()
+            folded = core(canonical)
+            elapsed = time.perf_counter() - started
+            sizes.append(len(canonical))
+            times.append(elapsed)
+            table.row(
+                len(canonical),
+                len(folded),
+                len(canonical.nulls()) - len(folded.nulls()),
+                f"{elapsed:.4f}",
+            )
+        slope = fit_polynomial_degree(sizes, times)
+        table.row("slope", f"{slope:.2f}", "", "")
+        assert slope < 5.0
+        canonical = setting.canonical_universal_solution(
+            example_2_1_scaled_source(16, seed=5)
+        )
+        benchmark(core, canonical)
+
+    def test_end_to_end_solve(self, benchmark):
+        """The complete Proposition 6.6 pipeline as one measurement."""
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(16, seed=9)
+        result = benchmark(solve, setting, source)
+        assert result.cwa_solution_exists

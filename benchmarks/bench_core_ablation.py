@@ -1,0 +1,87 @@
+"""Ablation: blockwise core vs global endomorphism folding.
+
+DESIGN.md lists the core algorithm as a design choice (the paper relies
+on Gottlob-Nash's polynomial algorithm; we fold).  The blockwise variant
+exploits the Gaifman-block decomposition that makes FKP's core
+computation polynomial on canonical solutions -- this module measures
+the gap and verifies both algorithms agree.
+"""
+
+import time
+
+import pytest
+
+from repro.core import isomorphic
+from repro.generators import example_2_1_scaled_source, star_source
+from repro.generators.settings_library import example_2_1_setting
+from repro.homomorphism import block_statistics, blockwise_core, core
+
+from conftest import fit_polynomial_degree
+
+
+class TestCoreAblation:
+    def test_scaled_example_2_1(self, benchmark, report):
+        setting = example_2_1_setting()
+        table = report.table(
+            "Core ablation on canonical solutions (Example 2.1 family)",
+            ("|T|", "#blocks", "largest", "folding (s)", "blockwise (s)", "agree"),
+        )
+        for pairs in (8, 16, 32, 64):
+            source = example_2_1_scaled_source(pairs, seed=31)
+            canonical = setting.canonical_universal_solution(source)
+            stats = block_statistics(canonical)
+            started = time.perf_counter()
+            folded = core(canonical)
+            folding_time = time.perf_counter() - started
+            started = time.perf_counter()
+            blocked = blockwise_core(canonical)
+            blockwise_time = time.perf_counter() - started
+            agree = isomorphic(folded, blocked)
+            table.row(
+                len(canonical),
+                stats["blocks"],
+                stats["largest"],
+                f"{folding_time:.4f}",
+                f"{blockwise_time:.4f}",
+                agree,
+            )
+            assert agree
+        canonical = setting.canonical_universal_solution(
+            example_2_1_scaled_source(32, seed=31)
+        )
+        benchmark(blockwise_core, canonical)
+
+    def test_folding_baseline(self, benchmark):
+        setting = example_2_1_setting()
+        canonical = setting.canonical_universal_solution(
+            example_2_1_scaled_source(32, seed=31)
+        )
+        benchmark(core, canonical)
+
+    def test_many_tiny_blocks(self, benchmark, report):
+        """The FKP sweet spot: many independent one-null blocks."""
+        from repro.core import Schema
+        from repro.exchange import DataExchangeSetting
+
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(N=2),
+            Schema.of(F=2),
+            ["N(x, y) -> exists z . F(x, z)", "N(x, y) -> F(x, y)"],
+        )
+        table = report.table(
+            "Core ablation: many independent blocks (star family)",
+            ("rays", "folding (s)", "blockwise (s)"),
+        )
+        for rays in (8, 16, 32):
+            source = star_source(rays)
+            canonical = setting.canonical_universal_solution(source)
+            started = time.perf_counter()
+            folded = core(canonical)
+            folding_time = time.perf_counter() - started
+            started = time.perf_counter()
+            blocked = blockwise_core(canonical)
+            blockwise_time = time.perf_counter() - started
+            assert isomorphic(folded, blocked)
+            table.row(rays, f"{folding_time:.4f}", f"{blockwise_time:.4f}")
+        canonical = setting.canonical_universal_solution(star_source(16))
+        benchmark(blockwise_core, canonical)

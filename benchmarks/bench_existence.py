@@ -1,0 +1,104 @@
+"""Existence-of-CWA-Solutions (Proposition 6.6).
+
+Two claims are regenerated:
+
+* for weakly acyclic settings the problem is decided in polynomial time
+  (size sweep over the egd-carrying Example 2.1 family, positive and
+  negative instances);
+* it is PTIME-hard: the path-system reduction maps derivability to
+  NON-existence, cross-checked against the direct fixpoint.
+"""
+
+import time
+
+import pytest
+
+from repro.core import Schema
+from repro.exchange import DataExchangeSetting, existence_of_cwa_solutions
+from repro.generators import employee_source
+from repro.generators.settings_library import example_2_1_setting
+from repro.generators.random_instances import example_2_1_scaled_source
+from repro.logic import parse_instance
+from repro.reductions.circuit import (
+    decide_derivable_via_existence,
+    encode_path_system,
+    existence_hardness_setting,
+    random_circuit,
+)
+
+from conftest import fit_polynomial_degree
+
+
+class TestPolynomialDecision:
+    def test_positive_instances_scale(self, benchmark, report):
+        setting = example_2_1_setting()
+        table = report.table(
+            "Existence-of-CWA-Solutions: positive instances (weakly acyclic)",
+            ("|S|", "exists?", "seconds"),
+        )
+        sizes, times = [], []
+        for pairs in (8, 16, 32, 64):
+            source = example_2_1_scaled_source(pairs, seed=11)
+            started = time.perf_counter()
+            exists = existence_of_cwa_solutions(setting, source)
+            elapsed = time.perf_counter() - started
+            assert exists
+            sizes.append(len(source))
+            times.append(elapsed)
+            table.row(len(source), exists, f"{elapsed:.4f}")
+        slope = fit_polynomial_degree(sizes, times)
+        table.row("slope", "", f"{slope:.2f}")
+        assert slope < 4.0
+        benchmark(
+            existence_of_cwa_solutions,
+            setting,
+            example_2_1_scaled_source(32, seed=11),
+        )
+
+    def test_negative_instances_scale(self, benchmark, report):
+        """Key-violating sources: the chase fails quickly at any size."""
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        table = report.table(
+            "Existence-of-CWA-Solutions: negative instances",
+            ("|S|", "exists?", "seconds"),
+        )
+        for size in (10, 40, 160):
+            atoms = ", ".join(
+                f"Src('k{i}','v{i}')" for i in range(size - 2)
+            )
+            source = parse_instance(atoms + ", Src('k0','clash'), Src('k1','clash2')")
+            started = time.perf_counter()
+            exists = existence_of_cwa_solutions(setting, source)
+            elapsed = time.perf_counter() - started
+            assert not exists
+            table.row(len(source), exists, f"{elapsed:.4f}")
+        benchmark(existence_of_cwa_solutions, setting, source)
+
+
+class TestPtimeHardness:
+    def test_path_system_reduction(self, benchmark, report):
+        """Goal derivable ⟺ no CWA-solution (the Prop. 6.6 hardness
+        carrier), swept over growing random circuits."""
+        table = report.table(
+            "PTIME-hardness carrier: circuit value via existence",
+            ("#gates", "derivable", "existence verdict", "agrees"),
+        )
+        for gates in (5, 10, 20, 40):
+            system = random_circuit(4, gates, seed=gates).to_path_system()
+            verdict = decide_derivable_via_existence(system)
+            agrees = verdict == system.goal_derivable
+            table.row(gates, system.goal_derivable, verdict, agrees)
+            assert agrees
+        system = random_circuit(4, 20, seed=20).to_path_system()
+        benchmark(decide_derivable_via_existence, system)
+
+    def test_reduction_source_sizes(self, benchmark):
+        system = random_circuit(6, 30, seed=2).to_path_system()
+        source = encode_path_system(system, with_bit=True)
+        assert len(source) >= 30
+        benchmark(encode_path_system, system, True)

@@ -1,0 +1,116 @@
+"""Example 5.3 -- exponentially many incomparable CWA-solutions.
+
+Regenerates the paper's Section 5 claims as measurements:
+
+* |CWA-solutions(S_n)| = 4^n ≥ 2^n for the Example 5.3 setting,
+* the paper's T and T' are in the space and are hom-images of no other
+  solution (pairwise incomparability),
+* the core is the unique minimal solution; no maximal solution exists.
+"""
+
+import time
+
+import pytest
+
+from repro.core import isomorphic
+from repro.cwa import (
+    core_solution,
+    enumerate_cwa_solutions,
+    is_homomorphic_image_of,
+    is_minimal_cwa_solution,
+)
+from repro.generators.settings_library import (
+    example_5_3_named_solutions,
+    example_5_3_setting,
+    example_5_3_source,
+)
+
+
+class TestExponentialGrowth:
+    def test_solution_count_is_4_to_the_n(self, benchmark, report):
+        setting = example_5_3_setting()
+        table = report.table(
+            "Example 5.3: |CWA-solutions(S_n)| (paper: ≥ 2^n)",
+            ("n", "|solutions|", "4^n", "≥ 2^n", "seconds"),
+        )
+        for n in (1, 2):
+            source = example_5_3_source(n)
+            started = time.perf_counter()
+            solutions = enumerate_cwa_solutions(setting, source)
+            elapsed = time.perf_counter() - started
+            table.row(
+                n,
+                len(solutions),
+                4 ** n,
+                len(solutions) >= 2 ** n,
+                f"{elapsed:.2f}",
+            )
+            assert len(solutions) == 4 ** n
+        benchmark(
+            enumerate_cwa_solutions, setting, example_5_3_source(1)
+        )
+
+    def test_incomparability(self, benchmark, report):
+        setting = example_5_3_setting()
+        source = example_5_3_source(1)
+        solutions = enumerate_cwa_solutions(setting, source)
+        t, t_prime = example_5_3_named_solutions()
+        table = report.table(
+            "Example 5.3: hom-image relation among the four solutions",
+            ("solution", "|T|", "image of others?"),
+        )
+        for named, label in ((t, "T (paper)"), (t_prime, "T' (paper)")):
+            others = [s for s in solutions if not isomorphic(s, named)]
+            image = any(is_homomorphic_image_of(named, o) for o in others)
+            table.row(label, len(named), image)
+            assert not image
+        benchmark(is_homomorphic_image_of, t, t_prime)
+
+    def test_space_census(self, benchmark, report):
+        """The full poset census via SolutionSpace (Section 5 as API)."""
+        from repro.cwa import SolutionSpace
+
+        setting = example_5_3_setting()
+        source = example_5_3_source(1)
+        space = SolutionSpace.build(setting, source)
+        census = space.census()
+        table = report.table(
+            "Example 5.3: solution-space census (n = 1)",
+            ("solutions", "minimal", "maximal", "largest antichain", "chain?"),
+        )
+        table.row(
+            census["solutions"],
+            census["minimal"],
+            census["maximal"],
+            census["largest_antichain"],
+            census["is_chain"],
+        )
+        assert census["solutions"] == 4
+        assert census["minimal"] == 1  # the core, Theorem 5.1
+        assert census["maximal"] == 0  # Example 5.3's point
+        assert census["largest_antichain"] >= 2  # ≥ 2^n with n = 1
+        benchmark(SolutionSpace.build, setting, source)
+
+    def test_unique_minimal_no_maximal(self, benchmark, report):
+        setting = example_5_3_setting()
+        source = example_5_3_source(1)
+        solutions = enumerate_cwa_solutions(setting, source)
+        minimal = core_solution(setting, source)
+        table = report.table(
+            "Example 5.3: minimality/maximality census",
+            ("candidate", "minimal?", "maximal?"),
+        )
+        maximal_count = 0
+        for index, candidate in enumerate(solutions):
+            is_min = is_minimal_cwa_solution(
+                setting, source, candidate, solutions
+            )
+            is_max = all(
+                is_homomorphic_image_of(other, candidate)
+                for other in solutions
+            )
+            maximal_count += is_max
+            table.row(f"#{index} (|T|={len(candidate)})", is_min, is_max)
+            assert is_min == isomorphic(candidate, minimal)
+        assert maximal_count == 0  # no maximal CWA-solution (Example 5.3)
+        benchmark(core_solution, setting, source)

@@ -1,0 +1,78 @@
+"""Homomorphism and core micro-benchmarks.
+
+These are the primitives every Section-4/5 construction stands on: the
+universality test (Theorem 4.8), the core (Theorem 5.1), and the
+isomorphism check used for "up to renaming of nulls" comparisons.
+"""
+
+import time
+
+import pytest
+
+from repro.core import isomorphic
+from repro.generators import example_2_1_scaled_source, star_source
+from repro.generators.settings_library import example_2_1_setting
+from repro.homomorphism import core, find_homomorphism, has_homomorphism
+
+from conftest import fit_polynomial_degree
+
+
+def _canonical(pairs, seed=13):
+    setting = example_2_1_setting()
+    source = example_2_1_scaled_source(pairs, seed=seed)
+    return setting.canonical_universal_solution(source)
+
+
+class TestHomomorphismSearch:
+    def test_self_homomorphism_scaling(self, benchmark, report):
+        table = report.table(
+            "Homomorphism search T → T on canonical solutions",
+            ("|T|", "#nulls", "seconds"),
+        )
+        sizes, times = [], []
+        for pairs in (8, 16, 32):
+            target = _canonical(pairs)
+            started = time.perf_counter()
+            assert find_homomorphism(target, target) is not None
+            elapsed = time.perf_counter() - started
+            sizes.append(len(target))
+            times.append(elapsed)
+            table.row(len(target), len(target.nulls()), f"{elapsed:.4f}")
+        benchmark(find_homomorphism, _canonical(16), _canonical(16))
+
+    def test_universality_check(self, benchmark):
+        """hom(T → U): the Theorem 4.8 workhorse."""
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(16, seed=2)
+        canonical = setting.canonical_universal_solution(source)
+        folded = core(canonical)
+        result = benchmark(has_homomorphism, canonical, folded)
+        assert result
+
+
+class TestCore:
+    def test_core_scaling(self, benchmark, report):
+        table = report.table(
+            "Core computation (endomorphism folding)",
+            ("|T|", "|core|", "seconds"),
+        )
+        sizes, times = [], []
+        for pairs in (8, 16, 32):
+            target = _canonical(pairs, seed=21)
+            started = time.perf_counter()
+            folded = core(target)
+            elapsed = time.perf_counter() - started
+            sizes.append(len(target))
+            times.append(elapsed)
+            table.row(len(target), len(folded), f"{elapsed:.4f}")
+        slope = fit_polynomial_degree(sizes, times)
+        table.row("slope", "", f"{slope:.2f}")
+        benchmark(core, _canonical(16, seed=21))
+
+
+class TestIsomorphism:
+    def test_isomorphism_check(self, benchmark):
+        left = _canonical(16, seed=5)
+        right = left.canonical()
+        result = benchmark(isomorphic, left, right)
+        assert result

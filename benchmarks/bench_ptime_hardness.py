@@ -1,0 +1,70 @@
+"""Proposition 7.8 -- PTIME-hardness of all four semantics (full tgds).
+
+The full-tgd derivability setting makes the chase compute path-system
+accessibility; the query Q() :- GoalT(g), Deriv(g) then answers the
+PTIME-complete circuit value problem under *all four* semantics (no
+nulls ⟹ a single possible world).  We sweep circuit sizes, check the
+verdicts against direct evaluation, and measure the (polynomial) cost --
+the hardness direction is the reduction itself.
+"""
+
+import time
+
+import pytest
+
+from repro.answering import all_four_semantics
+from repro.reductions.circuit import (
+    decide_derivable_via_certain_answers,
+    derivability_setting,
+    encode_path_system,
+    goal_query,
+    random_circuit,
+)
+
+from conftest import fit_polynomial_degree
+
+
+class TestProposition78:
+    def test_circuit_sweep(self, benchmark, report):
+        table = report.table(
+            "Prop. 7.8: circuit value via certain answers (full tgds)",
+            ("#gates", "circuit value", "certain verdict", "seconds"),
+        )
+        sizes, times = [], []
+        for gates in (10, 20, 40, 80):
+            circuit = random_circuit(5, gates, seed=gates + 1)
+            system = circuit.to_path_system()
+            started = time.perf_counter()
+            verdict = decide_derivable_via_certain_answers(system)
+            elapsed = time.perf_counter() - started
+            sizes.append(gates)
+            times.append(elapsed)
+            table.row(gates, circuit.evaluate(), verdict, f"{elapsed:.4f}")
+            assert verdict == circuit.evaluate()
+        slope = fit_polynomial_degree(sizes, times)
+        table.row("slope", "", "", f"{slope:.2f}")
+        assert slope < 4.0
+        system = random_circuit(5, 20, seed=3).to_path_system()
+        benchmark(decide_derivable_via_certain_answers, system)
+
+    def test_all_four_semantics_coincide(self, benchmark, report):
+        setting = derivability_setting()
+        table = report.table(
+            "Prop. 7.8: the four semantics coincide (no nulls)",
+            ("seed", "derivable", "all four agree"),
+        )
+        for seed in range(4):
+            system = random_circuit(4, 12, seed=seed).to_path_system()
+            source = encode_path_system(system)
+            results = all_four_semantics(setting, source, goal_query())
+            verdicts = {bool(v) for v in results.values()}
+            table.row(seed, system.goal_derivable, len(verdicts) == 1)
+            assert len(verdicts) == 1
+            assert verdicts == {system.goal_derivable}
+        system = random_circuit(4, 12, seed=0).to_path_system()
+        benchmark(
+            all_four_semantics,
+            setting,
+            encode_path_system(system),
+            goal_query(),
+        )

@@ -1,0 +1,144 @@
+"""Section 7 -- the four answer semantics and their reductions.
+
+Regenerates:
+
+* Theorem 7.1: the fast paths (□Q on the core; □Q/◇Q on CanSol for the
+  restricted classes) equal the direct definitions over the enumerated
+  CWA-solution space -- correctness, plus the speedup measurement;
+* Corollary 7.2: the inclusion chain on a battery of queries;
+* Theorem 7.6 / Lemma 7.7: the PTIME UCQ path vs the exact semantics.
+"""
+
+import time
+
+import pytest
+
+from repro.answering import (
+    all_four_semantics,
+    answers_over_space,
+    certain_answers,
+    ucq_certain_answers,
+)
+from repro.cwa import enumerate_cwa_solutions
+from repro.generators.settings_library import (
+    egd_only_setting,
+    example_2_1_setting,
+    example_2_1_source,
+)
+from repro.logic import parse_instance, parse_query
+
+
+class TestTheorem71:
+    def test_fast_path_equals_direct(self, benchmark, report):
+        setting = example_2_1_setting()
+        source = example_2_1_source()
+        solutions = enumerate_cwa_solutions(setting, source)
+        query = parse_query("Q(x) :- E(x, y)")
+        table = report.table(
+            "Theorem 7.1: □Q(Core) vs ⋂ over the solution space",
+            ("mode", "via core (s)", "via space (s)", "equal"),
+        )
+        started = time.perf_counter()
+        fast = certain_answers(setting, source, query)
+        fast_time = time.perf_counter() - started
+        started = time.perf_counter()
+        direct = answers_over_space(
+            query, solutions, setting.target_dependencies, "certain"
+        )
+        direct_time = time.perf_counter() - started
+        table.row("certain□", f"{fast_time:.4f}", f"{direct_time:.4f}", fast == direct)
+        assert fast == direct
+        benchmark(certain_answers, setting, source, query)
+
+    def test_cansol_path_on_egd_setting(self, benchmark, report):
+        from repro.answering import maybe_answers, potential_certain_answers
+
+        setting = egd_only_setting()
+        source = parse_instance(
+            "Emp('e1','d1'), Emp('e2','d1'), Emp('e3','d2')"
+        )
+        solutions = enumerate_cwa_solutions(setting, source)
+        query = parse_query("Q(d, m) :- Dept(d, m)")
+        table = report.table(
+            "Theorem 7.1 on the egd-only class: CanSol fast paths",
+            ("semantics", "fast == direct"),
+        )
+        fast = potential_certain_answers(setting, source, query)
+        direct = answers_over_space(
+            query, solutions, setting.target_dependencies, "potential_certain"
+        )
+        table.row("certain◇", fast == direct)
+        assert fast == direct
+        fast_maybe = maybe_answers(setting, source, query)
+        direct_maybe = answers_over_space(
+            query, solutions, setting.target_dependencies, "maybe"
+        )
+        table.row("maybe◇", fast_maybe == direct_maybe)
+        assert fast_maybe == direct_maybe
+        benchmark(potential_certain_answers, setting, source, query)
+
+
+class TestCorollary72:
+    def test_inclusion_chain_battery(self, benchmark, report):
+        setting = example_2_1_setting()
+        source = example_2_1_source()
+        solutions = enumerate_cwa_solutions(setting, source)
+        battery = [
+            "Q(x) :- E(x, y)",
+            "Q(y) :- E('a', y)",
+            "Q(x, y) :- F(x, y)",
+            "Q(x) :- G(x, y)",
+            "Q() :- E(x, y), F(x, z), y != z",
+        ]
+        table = report.table(
+            "Corollary 7.2: |certain□| ≤ |certain◇| ≤ |maybe□| ≤ |maybe◇|",
+            ("query", "□", "◇c", "□m", "◇m", "chain holds"),
+        )
+        for text in battery:
+            query = parse_query(text)
+            results = all_four_semantics(
+                setting, source, query, solutions=solutions
+            )
+            chain = (
+                results["certain"]
+                <= results["potential_certain"]
+                <= results["persistent_maybe"]
+                <= results["maybe"]
+            )
+            table.row(
+                text,
+                len(results["certain"]),
+                len(results["potential_certain"]),
+                len(results["persistent_maybe"]),
+                len(results["maybe"]),
+                chain,
+            )
+            assert chain
+        benchmark(
+            all_four_semantics,
+            setting,
+            source,
+            parse_query("Q(x) :- E(x, y)"),
+            solutions=solutions,
+        )
+
+
+class TestTheorem76:
+    def test_ucq_fast_path_vs_exact(self, benchmark, report):
+        setting = example_2_1_setting()
+        source = example_2_1_source()
+        query = parse_query("Q(x) :- E(x, y) ; Q(x) :- F(x, y)")
+        table = report.table(
+            "Theorem 7.6 / Lemma 7.7: naive UCQ path vs exact □",
+            ("path", "seconds", "answers"),
+        )
+        started = time.perf_counter()
+        fast = ucq_certain_answers(setting, source, query)
+        fast_time = time.perf_counter() - started
+        started = time.perf_counter()
+        exact = certain_answers(setting, source, query)
+        exact_time = time.perf_counter() - started
+        table.row("Q(core)↓ (PTIME)", f"{fast_time:.4f}", len(fast))
+        table.row("valuation sweep", f"{exact_time:.4f}", len(exact))
+        assert fast == exact
+        benchmark(ucq_certain_answers, setting, source, query)

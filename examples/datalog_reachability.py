@@ -1,0 +1,65 @@
+"""Datalog certain answers over exchanged data (Theorem 7.6, full reach).
+
+Run with:  python examples/datalog_reachability.py
+
+Theorem 7.6's query class -- potentially infinite unions of conjunctive
+queries -- includes recursive datalog.  This script exchanges a road
+network into a target schema that invents unknown links (nulls), then
+answers a *recursive* reachability query under the CWA certain-answer
+semantics: chase, core, datalog fixpoint, drop null tuples.
+"""
+
+from repro.answering import datalog_certain_answers
+from repro.core import Schema
+from repro.exchange import DataExchangeSetting, solve
+from repro.logic import parse_instance, parse_program
+
+
+def main() -> None:
+    setting = DataExchangeSetting.from_strings(
+        Schema.of(Road=2, Ferry=2, Port=1),
+        Schema.of(Link=2, Gateway=1),
+        [
+            "Road(x, y) -> Link(x, y)",
+            "Ferry(x, y) -> Link(x, y) & Link(y, x)",
+            # Every port connects onward to some (unknown) place.
+            "Port(x) -> exists y . Link(x, y) & Gateway(x)",
+        ],
+        [],
+    )
+    source = parse_instance(
+        """
+        Road('berlin','leipzig'), Road('leipzig','munich'),
+        Ferry('rostock','malmo'),
+        Road('berlin','rostock'),
+        Port('rostock'), Port('malmo')
+        """
+    )
+    result = solve(setting, source)
+    print("Core of the exchanged network:")
+    print(result.core_solution.pretty())
+
+    program = parse_program(
+        """
+        % places reachable from berlin
+        reach(y) :- Link('berlin', y).
+        reach(z) :- reach(y), Link(y, z).
+        """,
+        goal="reach",
+    )
+    print("\nRecursive query:")
+    print(program)
+
+    answers = datalog_certain_answers(setting, source, program)
+    print("\nCertainly reachable from berlin:")
+    for (value,) in sorted(answers, key=str):
+        print("  ", value)
+    print(
+        "\n(The ports' unknown onward links are nulls: they flow through"
+        "\nthe fixpoint but are dropped from the certain answers, exactly"
+        "\nas Lemma 7.7 prescribes.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

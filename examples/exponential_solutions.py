@@ -1,0 +1,94 @@
+"""Example 5.3: exponentially many incomparable CWA-solutions.
+
+Run with:  python examples/exponential_solutions.py
+
+The setting
+
+    d1 = P(x) → ∃z1,z2,z3,z4 (E(x,z1,z3) ∧ E(x,z2,z4))
+    d2 = E(x,x1,y) ∧ E(x,x2,y) → F(x,x1,x2)
+
+has, for S_n = {P(1), ..., P(n)}, at least 2^n CWA-solutions none of
+which is a homomorphic image of another -- so no *maximal* CWA-solution
+exists (contrast with Theorem 5.1's unique minimal one, the core, and
+with Proposition 5.4's restricted classes where CanSol is maximal).
+
+This script materializes the full solution space for small n, verifies
+the paper's pairwise-incomparability claim, and shows the exponential
+growth (the space here is exactly 4^n: each P-fact independently picks
+one of four null-equality patterns).
+"""
+
+from repro.core import isomorphic
+from repro.cwa import (
+    core_solution,
+    enumerate_cwa_solutions,
+    is_homomorphic_image_of,
+    is_minimal_cwa_solution,
+)
+from repro.generators.settings_library import (
+    example_5_3_named_solutions,
+    example_5_3_setting,
+    example_5_3_source,
+)
+
+
+def main() -> None:
+    setting = example_5_3_setting()
+    print("Setting of Example 5.3:")
+    for dependency in setting.all_dependencies:
+        print("  ", dependency)
+
+    print("\nSolution-space growth (up to renaming of nulls):")
+    for n in (1, 2):
+        source = example_5_3_source(n)
+        solutions = enumerate_cwa_solutions(setting, source)
+        print(f"  n={n}: |CWA-solutions| = {len(solutions)}  (= 4^{n})")
+
+    source = example_5_3_source(1)
+    solutions = enumerate_cwa_solutions(setting, source)
+    t, t_prime = example_5_3_named_solutions()
+    print("\nThe paper's T and T' for S = {P(1)}:")
+    print("T  =", t)
+    print("T' =", t_prime)
+    print(
+        "present in the space:",
+        any(isomorphic(t, s) for s in solutions),
+        any(isomorphic(t_prime, s) for s in solutions),
+    )
+
+    print("\nIncomparability (no solution is the hom-image of another):")
+    for index, left in enumerate(solutions):
+        images = [
+            j
+            for j, right in enumerate(solutions)
+            if j != index and is_homomorphic_image_of(left, right)
+        ]
+        print(f"  solution {index} (|T|={len(left)}): image of {images or 'none'}")
+
+    minimal = core_solution(setting, source)
+    print("\nThe core is the unique minimal CWA-solution (Theorem 5.1):")
+    print("  core =", minimal)
+    print(
+        "  minimal:",
+        is_minimal_cwa_solution(setting, source, minimal, solutions),
+    )
+    print(
+        "  a maximal CWA-solution exists:",
+        any(
+            all(
+                is_homomorphic_image_of(other, candidate)
+                for other in solutions
+            )
+            for candidate in solutions
+        ),
+    )
+
+    from repro.cwa import SolutionSpace
+
+    print("\nThe whole space, as a homomorphism-ordered poset:")
+    space = SolutionSpace(setting, source, solutions)
+    print(space.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,187 @@
+"""The four CWA query answering semantics (Section 7.1).
+
+For a data exchange setting D, a source instance S and a query Q over
+the target schema, with ``S_CWA`` the set of CWA-solutions:
+
+* **certain answers**            ``certain□(Q,S) = ⋂_{T ∈ S_CWA} □Q(T)``
+* **potential certain answers**  ``certain◇(Q,S) = ⋃_{T ∈ S_CWA} □Q(T)``
+* **persistent maybe answers**   ``maybe□(Q,S)  = ⋂_{T ∈ S_CWA} ◇Q(T)``
+* **maybe answers**              ``maybe◇(Q,S)  = ⋃_{T ∈ S_CWA} ◇Q(T)``
+
+Theorem 7.1 reduces the □-intersections to the minimal CWA-solution
+(the core) and, for the restricted classes of Proposition 5.4, the
+◇-unions to CanSol.  This module implements both the direct definitions
+(over an explicit or enumerated solution space) and the fast paths, so
+tests can cross-validate them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.errors import ReproError
+from ..core.instance import Instance
+from ..cwa.enumeration import enumerate_cwa_solutions
+from ..cwa.solution import cansol, core_solution
+from ..exchange.setting import DataExchangeSetting
+from ..logic.queries import AnswerSet, Query
+from .valuations import certain_on, maybe_on
+
+
+class NoCwaSolutionError(ReproError):
+    """Query answering was requested but no CWA-solution exists."""
+
+
+def _solution_space(
+    setting: DataExchangeSetting,
+    source: Instance,
+    solutions: Optional[Sequence[Instance]],
+) -> List[Instance]:
+    if solutions is not None:
+        found = list(solutions)
+    else:
+        found = enumerate_cwa_solutions(setting, source)
+    if not found:
+        raise NoCwaSolutionError(
+            "no CWA-solution exists for this source instance"
+        )
+    return found
+
+
+def certain_answers(
+    setting: DataExchangeSetting,
+    source: Instance,
+    query: Query,
+) -> AnswerSet:
+    """``certain□(Q, S)``, via Theorem 7.1: ``□Q(Core_D(S))``."""
+    minimal = core_solution(setting, source)
+    if minimal is None:
+        raise NoCwaSolutionError(
+            "no CWA-solution exists for this source instance"
+        )
+    return certain_on(query, minimal, setting.target_dependencies)
+
+
+def persistent_maybe_answers(
+    setting: DataExchangeSetting,
+    source: Instance,
+    query: Query,
+) -> AnswerSet:
+    """``maybe□(Q, S)``, via Theorem 7.1: ``◇Q(Core_D(S))``."""
+    minimal = core_solution(setting, source)
+    if minimal is None:
+        raise NoCwaSolutionError(
+            "no CWA-solution exists for this source instance"
+        )
+    return maybe_on(query, minimal, setting.target_dependencies)
+
+
+def potential_certain_answers(
+    setting: DataExchangeSetting,
+    source: Instance,
+    query: Query,
+    *,
+    solutions: Optional[Sequence[Instance]] = None,
+) -> AnswerSet:
+    """``certain◇(Q, S)``.
+
+    Fast path (Theorem 7.1): ``□Q(CanSol_D(S))`` when the setting is in
+    one of Proposition 5.4's classes.  Otherwise the union over the
+    CWA-solution space is computed directly -- pass ``solutions`` to
+    reuse an enumerated space, or let the function enumerate one (small
+    inputs only; maximal CWA-solutions may not exist, Example 5.3).
+    """
+    if solutions is None and _cansol_applies(setting):
+        maximal = cansol(setting, source)
+        if maximal is None:
+            raise NoCwaSolutionError(
+                "no CWA-solution exists for this source instance"
+            )
+        return certain_on(query, maximal, setting.target_dependencies)
+    space = _solution_space(setting, source, solutions)
+    answers = frozenset()
+    for target in space:
+        answers |= certain_on(query, target, setting.target_dependencies)
+    return answers
+
+
+def maybe_answers(
+    setting: DataExchangeSetting,
+    source: Instance,
+    query: Query,
+    *,
+    solutions: Optional[Sequence[Instance]] = None,
+) -> AnswerSet:
+    """``maybe◇(Q, S)`` -- same strategy as
+    :func:`potential_certain_answers`, with ◇Q in place of □Q."""
+    if solutions is None and _cansol_applies(setting):
+        maximal = cansol(setting, source)
+        if maximal is None:
+            raise NoCwaSolutionError(
+                "no CWA-solution exists for this source instance"
+            )
+        return maybe_on(query, maximal, setting.target_dependencies)
+    space = _solution_space(setting, source, solutions)
+    answers = frozenset()
+    for target in space:
+        answers |= maybe_on(query, target, setting.target_dependencies)
+    return answers
+
+
+def _cansol_applies(setting: DataExchangeSetting) -> bool:
+    return (
+        setting.target_dependencies_are_egds_only
+        or setting.is_full_and_egd_setting
+    )
+
+
+def all_four_semantics(
+    setting: DataExchangeSetting,
+    source: Instance,
+    query: Query,
+    *,
+    solutions: Optional[Sequence[Instance]] = None,
+) -> dict:
+    """All four answer sets at once (used by examples and benchmarks).
+
+    Corollary 7.2 guarantees the chain
+    ``certain□ ⊆ certain◇ ⊆ maybe□ ⊆ maybe◇``; the property tests check
+    it on every evaluated query.
+    """
+    return {
+        "certain": certain_answers(setting, source, query),
+        "potential_certain": potential_certain_answers(
+            setting, source, query, solutions=solutions
+        ),
+        "persistent_maybe": persistent_maybe_answers(setting, source, query),
+        "maybe": maybe_answers(setting, source, query, solutions=solutions),
+    }
+
+
+def answers_over_space(
+    query: Query,
+    solutions: Iterable[Instance],
+    target_dependencies,
+    mode: str,
+) -> AnswerSet:
+    """Direct-definition evaluation over an explicit solution space.
+
+    ``mode`` is one of ``"certain"`` (⋂□), ``"potential_certain"`` (⋃□),
+    ``"persistent_maybe"`` (⋂◇), ``"maybe"`` (⋃◇).  Used by tests to
+    cross-validate the fast paths of Theorem 7.1.
+    """
+    box = mode in ("certain", "potential_certain")
+    intersect = mode in ("certain", "persistent_maybe")
+    per_solution = certain_on if box else maybe_on
+    result: Optional[frozenset] = None
+    for target in solutions:
+        answers = per_solution(query, target, target_dependencies)
+        if result is None:
+            result = answers
+        elif intersect:
+            result &= answers
+        else:
+            result |= answers
+    if result is None:
+        raise NoCwaSolutionError("empty solution space")
+    return result

@@ -1,0 +1,51 @@
+"""Chase engines: standard chase, oblivious chase, and the α-chase."""
+
+from .alpha import (
+    Alpha,
+    AlphaChaseSession,
+    ExplicitAlpha,
+    FreshAlpha,
+    JustificationKey,
+    alpha_applicable_matches,
+    alpha_chase,
+    any_tgd_alpha_applicable,
+    justification_key,
+)
+from .explain import ExplainedStep, explain, narrate
+from .oblivious import fire_all_source_justifications, oblivious_chase
+from .result import ChaseOutcome, ChaseStatus, ChaseStep
+from .satisfaction import (
+    satisfies_all,
+    satisfies_egd,
+    satisfies_tgd,
+    violated_tgd_match,
+    violations,
+)
+from .standard import chase_to_solution, standard_chase
+
+__all__ = [
+    "Alpha",
+    "AlphaChaseSession",
+    "ChaseOutcome",
+    "ChaseStatus",
+    "ChaseStep",
+    "ExplainedStep",
+    "ExplicitAlpha",
+    "FreshAlpha",
+    "explain",
+    "narrate",
+    "JustificationKey",
+    "alpha_applicable_matches",
+    "alpha_chase",
+    "any_tgd_alpha_applicable",
+    "chase_to_solution",
+    "fire_all_source_justifications",
+    "justification_key",
+    "oblivious_chase",
+    "satisfies_all",
+    "satisfies_egd",
+    "satisfies_tgd",
+    "standard_chase",
+    "violated_tgd_match",
+    "violations",
+]

@@ -1,0 +1,96 @@
+"""Rendering chase runs the way the paper writes them.
+
+Example 4.4 presents chases as sequences I₀, I₁, ..., Iₘ with one
+dependency application per step.  :func:`explain` replays a traced
+:class:`ChaseOutcome` into that shape, and :func:`narrate` renders it as
+text for examples, teaching, and debugging data exchange settings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.instance import Instance
+from .result import ChaseOutcome, ChaseStep
+
+
+class ExplainedStep:
+    """One chase step together with the instance it produced."""
+
+    __slots__ = ("index", "step", "instance")
+
+    def __init__(self, index: int, step: ChaseStep, instance: Instance):
+        self.index = index
+        self.step = step
+        self.instance = instance
+
+    def describe(self) -> str:
+        if self.step.kind == "tgd":
+            binding = ", ".join(
+                f"{name} ↦ {value}" for name, value in self.step.binding
+            )
+            added = ", ".join(repr(atom) for atom in self.step.added)
+            name = self.step.dependency.name or "tgd"
+            action = f"α-apply {name}" if not added else f"apply {name}"
+            detail = f" with {binding}" if binding else ""
+            return f"I{self.index} = I{self.index - 1} ∪ {{{added}}}  ({action}{detail})"
+        old, new = self.step.merged
+        name = self.step.dependency.name or "egd"
+        return (
+            f"I{self.index}: apply {name}, replacing {old} by {new}"
+        )
+
+
+def explain(initial: Instance, outcome: ChaseOutcome) -> List[ExplainedStep]:
+    """Replay a traced outcome into the I₀, I₁, ... presentation.
+
+    Requires the chase to have been run with ``trace=True``; raises
+    otherwise (an untraced outcome has nothing to replay).
+    """
+    if outcome.steps and not outcome.trace:
+        raise ValueError(
+            "the chase was not traced; rerun with trace=True to explain it"
+        )
+    current = initial.copy()
+    explained: List[ExplainedStep] = []
+    for index, step in enumerate(outcome.trace, start=1):
+        if step.kind == "tgd":
+            current.add_all(step.added)
+        else:
+            old, new = step.merged
+            if old.is_null:
+                current.replace_value(old, new)
+        explained.append(ExplainedStep(index, step, current.copy()))
+    return explained
+
+
+def narrate(
+    initial: Instance,
+    outcome: ChaseOutcome,
+    *,
+    show_instances: bool = False,
+) -> str:
+    """A textual account of a traced chase run.
+
+    >>> from repro.chase import standard_chase
+    >>> from repro.logic import parse_instance
+    >>> from repro.dependencies import parse_dependencies
+    >>> deps = parse_dependencies(["E(x, y) -> exists z . F(y, z)"])
+    >>> outcome = standard_chase(parse_instance("E('a','b')"), deps, trace=True)
+    >>> print(narrate(parse_instance("E('a','b')"), outcome))  # doctest: +ELLIPSIS
+    I0 = {E(a, b)}
+    I1 = I0 ∪ {F(b, ⊥...)}  (apply tgd with x ↦ a, y ↦ b)
+    result: success after 1 step(s)
+    """
+    lines: List[str] = []
+    atoms = ", ".join(repr(a) for a in initial.sorted_atoms())
+    lines.append(f"I0 = {{{atoms}}}")
+    for item in explain(initial, outcome):
+        lines.append(item.describe())
+        if show_instances:
+            lines.append(f"    I{item.index} = {item.instance!r}")
+    lines.append(
+        f"result: {outcome.status.value} after {outcome.steps} step(s)"
+        + (f" -- {outcome.reason}" if outcome.reason else "")
+    )
+    return "\n".join(lines)

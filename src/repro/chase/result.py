@@ -1,0 +1,115 @@
+"""Chase outcomes and traces.
+
+Every chase engine returns a :class:`ChaseOutcome` describing how the run
+ended (Definition 4.2 distinguishes *successful*, *failing*, and infinite
+chases -- we report the latter as *diverged*, detected by a step budget or
+by revisiting a state), the resulting instance, and an optional step-by-
+step trace used by the worked examples and by tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Instance
+from ..core.terms import Value
+
+
+class ChaseStatus(enum.Enum):
+    """How a chase run ended."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"  # an egd equated two distinct constants
+    DIVERGED = "diverged"  # budget exhausted or a state repeated
+
+
+class ChaseStep:
+    """One step of a chase: a tgd firing or an egd application."""
+
+    __slots__ = ("kind", "dependency", "binding", "added", "merged")
+
+    def __init__(
+        self,
+        kind: str,
+        dependency,
+        binding: Tuple[Tuple[str, Value], ...] = (),
+        added: Sequence[Atom] = (),
+        merged: Optional[Tuple[Value, Value]] = None,
+    ):
+        self.kind = kind  # "tgd" or "egd"
+        self.dependency = dependency
+        self.binding = binding
+        self.added = tuple(added)
+        self.merged = merged
+
+    def __repr__(self) -> str:
+        if self.kind == "tgd":
+            atoms = ", ".join(repr(a) for a in self.added)
+            return f"fire {self.dependency.name or 'tgd'}: add {{{atoms}}}"
+        old, new = self.merged
+        return f"apply {self.dependency.name or 'egd'}: {old} := {new}"
+
+
+class ChaseOutcome:
+    """Result of a chase run.
+
+    Attributes
+    ----------
+    status:
+        :class:`ChaseStatus` -- success, failure, or divergence.
+    instance:
+        The final instance (for FAILURE/DIVERGED, the state reached when
+        the run stopped -- useful for diagnostics).
+    steps:
+        Number of dependency applications performed.
+    trace:
+        Step records if tracing was requested, else empty.
+    reason:
+        Human-readable explanation for non-success outcomes.
+    """
+
+    __slots__ = ("status", "instance", "steps", "trace", "reason")
+
+    def __init__(
+        self,
+        status: ChaseStatus,
+        instance: Instance,
+        steps: int,
+        trace: Sequence[ChaseStep] = (),
+        reason: str = "",
+    ):
+        self.status = status
+        self.instance = instance
+        self.steps = steps
+        self.trace: List[ChaseStep] = list(trace)
+        self.reason = reason
+
+    @property
+    def successful(self) -> bool:
+        return self.status is ChaseStatus.SUCCESS
+
+    @property
+    def failed(self) -> bool:
+        return self.status is ChaseStatus.FAILURE
+
+    @property
+    def diverged(self) -> bool:
+        return self.status is ChaseStatus.DIVERGED
+
+    def require_success(self) -> Instance:
+        """The result instance, or raise if the chase did not succeed."""
+        from ..core.errors import ChaseDivergence, ChaseFailure, ReproError
+
+        if self.successful:
+            return self.instance
+        if self.failed:
+            raise ReproError(f"chase failed: {self.reason}")
+        raise ChaseDivergence(self.steps, self.reason or "chase diverged")
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaseOutcome({self.status.value}, steps={self.steps}, "
+            f"|I|={len(self.instance)})"
+        )

@@ -1,0 +1,203 @@
+"""Semi-naive standard chase: delta-driven trigger discovery.
+
+The batched engine in :mod:`repro.chase.standard` re-enumerates *all*
+premise matches on every pass; on long chases most of those matches are
+old news.  This engine applies the classic semi-naive idea from Datalog
+evaluation: a premise match can be *new* only if it uses at least one
+atom added (or rewritten) since the previous pass, so each pass seeds
+the matcher from the delta:
+
+    for every premise atom position p of a tgd,
+        for every delta atom unifiable with p,
+            complete the match against the full instance.
+
+Egd applications rewrite atoms; rewritten atoms re-enter the delta so
+matches they enable are found again.  The engine produces a valid
+standard chase sequence (every firing is checked against the current
+instance), hence for weakly acyclic settings its result is a canonical
+universal solution, hom-equivalent to the batched engine's.
+
+``seminaive_chase`` mirrors :func:`repro.chase.standard.standard_chase`'s
+signature and verdicts; the benchmark module ``bench_seminaive.py``
+races the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom, Substitution
+from ..core.instance import Instance
+from ..core.terms import NullFactory, Value
+from ..dependencies.base import Dependency, split_dependencies
+from ..dependencies.egd import Egd
+from ..dependencies.tgd import Tgd
+from ..logic.matching import match
+from .result import ChaseOutcome, ChaseStatus, ChaseStep
+
+DEFAULT_MAX_STEPS = 200_000
+
+
+def _unify_seed(pattern: Atom, fact: Atom) -> Optional[Dict]:
+    """Bindings from matching one premise atom against one delta fact."""
+    if pattern.relation != fact.relation:
+        return None
+    bound: Dict = {}
+    for pattern_arg, fact_arg in zip(pattern.args, fact.args):
+        if isinstance(pattern_arg, Value):
+            if pattern_arg != fact_arg:
+                return None
+        else:
+            known = bound.get(pattern_arg)
+            if known is None:
+                bound[pattern_arg] = fact_arg
+            elif known != fact_arg:
+                return None
+    return bound
+
+
+def _delta_matches(
+    tgd: Tgd, instance: Instance, delta: Sequence[Atom]
+) -> Iterable[Substitution]:
+    """Premise matches of ``tgd`` that use at least one delta atom.
+
+    Deduplicates across seed positions (a match touching two delta atoms
+    would otherwise be reported twice).
+    """
+    if tgd.premise_atoms is None:
+        # FO premise (s-t tgd): fires only off source atoms; if the
+        # delta contains any premise relation, fall back to a full scan.
+        relations = {r.name for r in tgd.premise_relations()}
+        if any(fact.relation.name in relations for fact in delta):
+            yield from tgd.premise_matches(instance)
+        return
+
+    seen: Set[Tuple[Value, ...]] = set()
+    all_variables = tuple(tgd.frontier) + tuple(tgd.premise_only)
+    for seed_index, pattern in enumerate(tgd.premise_atoms):
+        rest = (
+            tgd.premise_atoms[:seed_index] + tgd.premise_atoms[seed_index + 1 :]
+        )
+        for fact in delta:
+            bound = _unify_seed(pattern, fact)
+            if bound is None:
+                continue
+            initial = Substitution(bound)
+            for completed in match(rest, instance, initial=initial):
+                key = completed.as_tuple(all_variables)
+                if key not in seen:
+                    seen.add(key)
+                    yield completed
+
+
+def seminaive_chase(
+    instance: Instance,
+    dependencies: Sequence[Dependency],
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    trace: bool = False,
+    null_factory: Optional[NullFactory] = None,
+) -> ChaseOutcome:
+    """Standard chase with semi-naive trigger discovery.
+
+    Same contract as :func:`repro.chase.standard.standard_chase`.
+    """
+    tgds, egds = split_dependencies(list(dependencies))
+    current = instance.copy()
+    factory = null_factory or current.null_factory()
+    steps = 0
+    log: List[ChaseStep] = []
+    delta: List[Atom] = list(current)
+
+    while True:
+        # Egd fixpoint first; rewritten atoms re-enter the delta.
+        failed, steps, merged_atoms = _egd_fixpoint(
+            current, egds, steps, max_steps, log if trace else None
+        )
+        if failed == "failed":
+            return ChaseOutcome(
+                ChaseStatus.FAILURE,
+                current,
+                steps,
+                log,
+                "an egd equated two distinct constants",
+            )
+        if failed == "budget":
+            return ChaseOutcome(
+                ChaseStatus.DIVERGED,
+                current,
+                steps,
+                log,
+                f"semi-naive chase exceeded {max_steps} steps",
+            )
+        delta.extend(merged_atoms)
+
+        if not delta:
+            return ChaseOutcome(ChaseStatus.SUCCESS, current, steps, log)
+
+        new_delta: List[Atom] = []
+        for tgd in tgds:
+            for premise_match in list(_delta_matches(tgd, current, delta)):
+                if steps >= max_steps:
+                    return ChaseOutcome(
+                        ChaseStatus.DIVERGED,
+                        current,
+                        steps,
+                        log,
+                        f"semi-naive chase exceeded {max_steps} steps",
+                    )
+                if tgd.conclusion_holds(current, premise_match):
+                    continue
+                witnesses = factory.fresh_tuple(len(tgd.existential))
+                added = tgd.conclusion_atoms_under(premise_match, witnesses)
+                fresh = [atom for atom in added if current.add(atom)]
+                new_delta.extend(fresh)
+                steps += 1
+                if trace:
+                    binding = tuple(
+                        (variable.name, premise_match[variable])
+                        for variable in tgd.frontier + tgd.premise_only
+                    )
+                    log.append(
+                        ChaseStep("tgd", tgd, binding=binding, added=fresh)
+                    )
+        delta = new_delta
+
+
+def _egd_fixpoint(
+    instance: Instance,
+    egds: Sequence[Egd],
+    steps: int,
+    max_steps: int,
+    log: Optional[List[ChaseStep]],
+) -> Tuple[str, int, List[Atom]]:
+    """Apply egds to fixpoint; returns (verdict, steps, rewritten atoms).
+
+    Verdict is "ok", "failed" or "budget".  Rewritten atoms are those
+    containing the surviving value of any merge -- a superset of the
+    atoms whose shape changed, which is what delta correctness needs.
+    """
+    rewritten: List[Atom] = []
+    while True:
+        if steps >= max_steps:
+            return "budget", steps, rewritten
+        violation = None
+        for egd in egds:
+            pair = egd.first_violation(instance)
+            if pair is not None:
+                violation = (egd, pair)
+                break
+        if violation is None:
+            return "ok", steps, rewritten
+        egd, (left, right) = violation
+        direction = Egd.merge_direction(left, right)
+        if direction is None:
+            return "failed", steps, rewritten
+        old, new = direction
+        instance.replace_value(old, new)
+        steps += 1
+        if log is not None:
+            log.append(ChaseStep("egd", egd, merged=(old, new)))
+        for atom in instance:
+            if new in atom.args:
+                rewritten.append(atom)

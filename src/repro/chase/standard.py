@@ -1,0 +1,149 @@
+"""The standard chase (Fagin-Kolaitis-Miller-Popa semantics).
+
+A tgd fires on a premise match only if the conclusion is not *satisfiable*
+with any witnesses -- condition (2) of Remark 4.3.  Fresh nulls are
+invented for the existential variables of each firing.  Egds are applied
+with the merge rule of footnote 4 and fail on distinct constants.
+
+For weakly acyclic settings every standard chase sequence terminates after
+polynomially many steps; on success the result (restricted to the target
+schema) is the *canonical universal solution*.  On egd failure, no
+solution exists at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.errors import ChaseDivergence
+from ..core.instance import Instance
+from ..core.terms import NullFactory
+from ..dependencies.base import Dependency, split_dependencies
+from ..dependencies.egd import Egd
+from .result import ChaseOutcome, ChaseStatus, ChaseStep
+
+DEFAULT_MAX_STEPS = 200_000
+
+
+def standard_chase(
+    instance: Instance,
+    dependencies: Sequence[Dependency],
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    trace: bool = False,
+    null_factory: Optional[NullFactory] = None,
+) -> ChaseOutcome:
+    """Run the standard chase of ``instance`` with ``dependencies``.
+
+    The input instance is not modified.  Strategy: egds take priority over
+    tgds and dependencies are tried in the given order, which makes runs
+    deterministic; for weakly acyclic settings the final result does not
+    depend on the strategy (all sequences terminate, and all successful
+    results are hom-equivalent).
+
+    Returns a :class:`ChaseOutcome`; on ``SUCCESS`` the ``instance`` field
+    satisfies every dependency.
+    """
+    tgds, egds = split_dependencies(list(dependencies))
+    current = instance.copy()
+    factory = null_factory or current.null_factory()
+    steps = 0
+    log: List[ChaseStep] = []
+
+    while True:
+        # Apply egds to a fixpoint (priority over tgds).
+        while True:
+            if steps >= max_steps:
+                return ChaseOutcome(
+                    ChaseStatus.DIVERGED,
+                    current,
+                    steps,
+                    log,
+                    f"standard chase exceeded {max_steps} steps",
+                )
+            egd_step = _apply_one_egd(current, egds, log if trace else None)
+            if egd_step == "failed":
+                return ChaseOutcome(
+                    ChaseStatus.FAILURE,
+                    current,
+                    steps,
+                    log,
+                    "an egd equated two distinct constants",
+                )
+            if egd_step != "applied":
+                break
+            steps += 1
+
+        # One batched tgd pass: fire every trigger that is (still)
+        # unsatisfied at its own firing time.  This is a valid standard
+        # chase sequence -- each firing is checked against the current
+        # instance -- and avoids re-enumerating all matches per step.
+        fired_any = False
+        for tgd in tgds:
+            for premise_match in list(tgd.premise_matches(current)):
+                if steps >= max_steps:
+                    return ChaseOutcome(
+                        ChaseStatus.DIVERGED,
+                        current,
+                        steps,
+                        log,
+                        f"standard chase exceeded {max_steps} steps",
+                    )
+                if tgd.conclusion_holds(current, premise_match):
+                    continue
+                witnesses = factory.fresh_tuple(len(tgd.existential))
+                added = tgd.conclusion_atoms_under(premise_match, witnesses)
+                new_atoms = [atom for atom in added if current.add(atom)]
+                steps += 1
+                fired_any = True
+                if trace:
+                    binding = tuple(
+                        (variable.name, premise_match[variable])
+                        for variable in tgd.frontier + tgd.premise_only
+                    )
+                    log.append(
+                        ChaseStep("tgd", tgd, binding=binding, added=new_atoms)
+                    )
+
+        if not fired_any:
+            return ChaseOutcome(ChaseStatus.SUCCESS, current, steps, log)
+
+
+def _apply_one_egd(
+    instance: Instance, egds: Sequence[Egd], log: Optional[List[ChaseStep]]
+) -> str:
+    """Apply the first violated egd.  Returns 'applied', 'failed' or 'none'."""
+    for egd in egds:
+        violation = egd.first_violation(instance)
+        if violation is None:
+            continue
+        left, right = violation
+        direction = Egd.merge_direction(left, right)
+        if direction is None:
+            return "failed"
+        old, new = direction
+        instance.replace_value(old, new)
+        if log is not None:
+            log.append(ChaseStep("egd", egd, merged=(old, new)))
+        return "applied"
+    return "none"
+
+
+def chase_to_solution(
+    source: Instance,
+    dependencies: Sequence[Dependency],
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Optional[Instance]:
+    """Chase and return the result instance, or None if the chase failed.
+
+    Raises :class:`ChaseDivergence` if the budget is exhausted -- callers
+    chasing weakly acyclic settings should treat that as a bug or an
+    undersized budget, not as "no solution".
+    """
+    outcome = standard_chase(source, dependencies, max_steps=max_steps)
+    if outcome.failed:
+        return None
+    if outcome.diverged:
+        raise ChaseDivergence(outcome.steps, outcome.reason)
+    return outcome.instance

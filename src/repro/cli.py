@@ -1,0 +1,324 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``solve``      chase a source instance and print the canonical universal
+               solution and the core (= the minimal CWA-solution).
+``chase``      run a chase engine with a narrated trace.
+``certain``    answer a query under one of the four CWA semantics.
+``check``      classify a candidate target instance (solution /
+               universal / CWA-presolution / CWA-solution).
+``analyze``    report weak/rich acyclicity and restricted-class
+               membership of a setting.
+``report``     the full exchange report: acyclicity, chase stats,
+               Gaifman blocks, core size, per-null justifications.
+
+Settings are described in a small text format, one declaration per line
+(``#`` starts a comment):
+
+    source:      M/2 N/2
+    target:      E/2 F/2 G/2
+    st:          M(x1,x2) -> E(x1,x2)
+    st:          N(x,y) -> exists z1, z2 . E(x,z1) & F(x,z2)
+    target-dep:  F(y,x) -> exists z . G(x,z)
+    target-dep:  F(x,y) & F(x,z) -> y = z
+
+Instances use the library DSL: ``M('a','b'), N('a','b'), N('a','c')``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.errors import ReproError
+from .core.instance import Instance
+from .core.schema import Schema
+from .exchange.setting import DataExchangeSetting
+from .logic.parser import parse_instance, parse_query
+
+
+def load_setting_text(text: str) -> DataExchangeSetting:
+    """Parse the setting file format described in the module docstring."""
+    source_decl: Optional[str] = None
+    target_decl: Optional[str] = None
+    st_lines: List[str] = []
+    target_dep_lines: List[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ":" not in line:
+            raise ReproError(
+                f"malformed setting line (expected 'key: value'): {line!r}"
+            )
+        key, _, value = line.partition(":")
+        key = key.strip().lower()
+        value = value.strip()
+        if key == "source":
+            source_decl = value
+        elif key == "target":
+            target_decl = value
+        elif key == "st":
+            st_lines.append(value)
+        elif key in ("target-dep", "tdep", "t"):
+            target_dep_lines.append(value)
+        else:
+            raise ReproError(f"unknown setting key {key!r} in {line!r}")
+    if source_decl is None or target_decl is None:
+        raise ReproError("a setting needs 'source:' and 'target:' lines")
+    return DataExchangeSetting.from_strings(
+        _parse_schema(source_decl),
+        _parse_schema(target_decl),
+        st_lines,
+        target_dep_lines,
+    )
+
+
+def _parse_schema(declaration: str) -> Schema:
+    """Parse ``"M/2 N/2"`` into a schema."""
+    arities = {}
+    for token in declaration.split():
+        name, _, arity = token.partition("/")
+        if not arity.isdigit():
+            raise ReproError(
+                f"bad relation declaration {token!r} (expected Name/arity)"
+            )
+        arities[name] = int(arity)
+    return Schema.from_mapping(arities)
+
+
+def load_setting(path: str) -> DataExchangeSetting:
+    with open(path, encoding="utf-8") as handle:
+        return load_setting_text(handle.read())
+
+
+def load_instance(path: str, setting: Optional[DataExchangeSetting] = None) -> Instance:
+    """Load an instance from a DSL file or a CSV directory."""
+    import os
+
+    schema = setting.joint_schema if setting is not None else None
+    if os.path.isdir(path):
+        from .io import load_instance as load_csv_directory
+
+        return load_csv_directory(path, schema)
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    # Strip comment lines so instance files can be annotated.
+    cleaned = "\n".join(
+        line for line in text.splitlines() if not line.strip().startswith("#")
+    )
+    return parse_instance(cleaned, schema)
+
+
+def _print_instance(instance: Instance, label: str) -> None:
+    print(f"{label} ({len(instance)} atoms):")
+    print(instance.pretty())
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def command_solve(args: argparse.Namespace) -> int:
+    from .exchange.solve import solve
+
+    setting = load_setting(args.setting)
+    source = load_instance(args.source, setting)
+    result = solve(
+        setting,
+        source,
+        max_steps=args.max_steps,
+        engine=args.engine,
+        core_algorithm=args.core_algorithm,
+    )
+    if not result.cwa_solution_exists:
+        print("no solution exists (the chase failed on an egd)")
+        return 1
+    _print_instance(result.canonical_solution, "canonical universal solution")
+    print()
+    _print_instance(result.core_solution, "core (minimal CWA-solution)")
+    print(f"\nchase steps: {result.chase_steps}")
+    return 0
+
+
+def command_chase(args: argparse.Namespace) -> int:
+    from .chase import narrate, standard_chase
+    from .chase.seminaive import seminaive_chase
+
+    setting = load_setting(args.setting)
+    source = load_instance(args.source, setting)
+    engine = standard_chase if args.engine == "standard" else seminaive_chase
+    outcome = engine(
+        source,
+        list(setting.all_dependencies),
+        max_steps=args.max_steps,
+        trace=True,
+    )
+    print(narrate(source, outcome, show_instances=args.show_instances))
+    return 0 if outcome.successful else 1
+
+
+def command_certain(args: argparse.Namespace) -> int:
+    from .answering import (
+        certain_answers,
+        maybe_answers,
+        persistent_maybe_answers,
+        potential_certain_answers,
+    )
+
+    setting = load_setting(args.setting)
+    source = load_instance(args.source, setting)
+    query = parse_query(args.query, setting.target_schema)
+    semantics = {
+        "certain": certain_answers,
+        "potential-certain": potential_certain_answers,
+        "persistent-maybe": persistent_maybe_answers,
+        "maybe": maybe_answers,
+    }[args.semantics]
+    answers = semantics(setting, source, query)
+    if query.arity == 0:
+        print("true" if answers else "false")
+        return 0
+    for answer in sorted(
+        tuple(str(value) for value in row) for row in answers
+    ):
+        print("\t".join(answer))
+    print(f"-- {len(answers)} answer(s) under {args.semantics}", file=sys.stderr)
+    return 0
+
+
+def command_check(args: argparse.Namespace) -> int:
+    from .cwa import is_cwa_presolution, is_cwa_solution
+
+    setting = load_setting(args.setting)
+    source = load_instance(args.source, setting)
+    target = load_instance(args.target, setting)
+    verdicts = {
+        "solution": setting.is_solution(source, target),
+        "universal solution": setting.is_universal_solution(source, target),
+        "CWA-presolution": is_cwa_presolution(setting, source, target),
+        "CWA-solution": is_cwa_solution(setting, source, target),
+    }
+    for name, verdict in verdicts.items():
+        print(f"{name:<18}: {'yes' if verdict else 'no'}")
+    return 0 if verdicts["CWA-solution"] else 1
+
+
+def command_report(args: argparse.Namespace) -> int:
+    from .exchange.report import render, report
+
+    setting = load_setting(args.setting)
+    source = load_instance(args.source, setting)
+    exchange_report = report(setting, source, max_steps=args.max_steps)
+    print(render(exchange_report))
+    return 0 if exchange_report.status == "solved" else 1
+
+
+def command_analyze(args: argparse.Namespace) -> int:
+    setting = load_setting(args.setting)
+    print(f"source schema : {' '.join(setting.source_schema.names)}")
+    print(f"target schema : {' '.join(setting.target_schema.names)}")
+    print(f"s-t tgds      : {len(setting.st_dependencies)}")
+    print(
+        f"target deps   : {len(setting.target_tgds)} tgd(s), "
+        f"{len(setting.target_egds)} egd(s)"
+    )
+    print(f"weakly acyclic: {'yes' if setting.is_weakly_acyclic else 'no'}")
+    print(f"richly acyclic: {'yes' if setting.is_richly_acyclic else 'no'}")
+    print(
+        "egd-only Σt   : "
+        + ("yes" if setting.target_dependencies_are_egds_only else "no")
+    )
+    print(
+        "full + egds   : "
+        + ("yes" if setting.is_full_and_egd_setting else "no")
+    )
+    if not setting.is_weakly_acyclic:
+        print(
+            "note: outside the weakly acyclic class Existence-of-CWA-"
+            "Solutions is undecidable in general (Theorem 6.2)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "CWA-solutions for data exchange settings with target "
+            "dependencies (Hernich & Schweikardt, PODS 2007)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="chase and compute the core")
+    solve.add_argument("setting", help="setting file")
+    solve.add_argument("source", help="source instance file")
+    solve.add_argument("--max-steps", type=int, default=200_000)
+    solve.add_argument(
+        "--engine", choices=("standard", "seminaive"), default="standard"
+    )
+    solve.add_argument(
+        "--core-algorithm", choices=("blockwise", "folding"), default="blockwise"
+    )
+    solve.set_defaults(run=command_solve)
+
+    chase = commands.add_parser("chase", help="narrated chase run")
+    chase.add_argument("setting")
+    chase.add_argument("source")
+    chase.add_argument("--max-steps", type=int, default=200_000)
+    chase.add_argument(
+        "--engine", choices=("standard", "seminaive"), default="standard"
+    )
+    chase.add_argument("--show-instances", action="store_true")
+    chase.set_defaults(run=command_chase)
+
+    certain = commands.add_parser("certain", help="answer a query")
+    certain.add_argument("setting")
+    certain.add_argument("source")
+    certain.add_argument("query", help="e.g. \"Q(x) :- E(x, y)\"")
+    certain.add_argument(
+        "--semantics",
+        choices=("certain", "potential-certain", "persistent-maybe", "maybe"),
+        default="certain",
+    )
+    certain.set_defaults(run=command_certain)
+
+    check = commands.add_parser(
+        "check", help="classify a candidate target instance"
+    )
+    check.add_argument("setting")
+    check.add_argument("source")
+    check.add_argument("target")
+    check.set_defaults(run=command_check)
+
+    analyze = commands.add_parser("analyze", help="inspect a setting")
+    analyze.add_argument("setting")
+    analyze.set_defaults(run=command_analyze)
+
+    report_cmd = commands.add_parser(
+        "report", help="full exchange report for a (setting, source) pair"
+    )
+    report_cmd.add_argument("setting")
+    report_cmd.add_argument("source")
+    report_cmd.add_argument("--max-steps", type=int, default=200_000)
+    report_cmd.set_defaults(run=command_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""Atoms and substitutions.
+
+An instance is a finite set of atoms ``R(u1, ..., ur)`` (Section 2).  Atoms
+over *values* populate instances; atoms over values *and variables* occur
+inside formulas and dependencies.  Both are represented by :class:`Atom`;
+:meth:`Atom.is_ground` distinguishes them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from .errors import ArityError
+from .schema import RelationSymbol
+from .terms import Const, Null, Term, Value, Variable, as_value
+
+
+class Atom:
+    """An atom ``R(t1, ..., tr)`` where each ``ti`` is a value or variable.
+
+    Atoms are immutable and hashable.  The constructor checks arity.
+
+    >>> R = RelationSymbol("R", 2)
+    >>> Atom(R, (Const("a"), Null(0))).is_ground
+    True
+    >>> Atom(R, (Const("a"), Variable("x"))).is_ground
+    False
+    """
+
+    __slots__ = ("relation", "args", "_hash")
+
+    def __init__(self, relation: RelationSymbol, args: Iterable[Term]):
+        args = tuple(args)
+        if len(args) != relation.arity:
+            raise ArityError(
+                f"{relation.name} has arity {relation.arity}, "
+                f"got {len(args)} arguments"
+            )
+        self.relation = relation
+        self.args = args
+        self._hash = hash(("Atom", relation, args))
+
+    @property
+    def is_ground(self) -> bool:
+        """True if every argument is a value (no variables)."""
+        return all(isinstance(arg, Value) for arg in self.args)
+
+    @property
+    def values(self) -> Tuple[Value, ...]:
+        """The value arguments (constants and nulls) in positional order."""
+        return tuple(arg for arg in self.args if isinstance(arg, Value))
+
+    @property
+    def nulls(self) -> FrozenSet[Null]:
+        """The nulls occurring in this atom."""
+        return frozenset(arg for arg in self.args if isinstance(arg, Null))
+
+    @property
+    def constants(self) -> FrozenSet[Const]:
+        """The constants occurring in this atom."""
+        return frozenset(arg for arg in self.args if isinstance(arg, Const))
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this atom."""
+        return frozenset(arg for arg in self.args if isinstance(arg, Variable))
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Atom":
+        """Apply a substitution to every argument.
+
+        Arguments absent from ``mapping`` are left unchanged, so partial
+        substitutions are allowed (used during backtracking matching).
+        """
+        return Atom(
+            self.relation,
+            tuple(mapping.get(arg, arg) for arg in self.args),
+        )
+
+    def rename_values(self, mapping: Mapping[Value, Value]) -> "Atom":
+        """Apply a value-to-value mapping (e.g. a homomorphism) to the atom."""
+        return Atom(
+            self.relation,
+            tuple(
+                mapping.get(arg, arg) if isinstance(arg, Value) else arg
+                for arg in self.args
+            ),
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self._hash == other._hash
+            and self.relation == other.relation
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def _sort_key(self):
+        return (
+            self.relation.name,
+            tuple(_term_sort_key(arg) for arg in self.args),
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.relation.name}({inner})"
+
+
+def _term_sort_key(term: Term):
+    """A total order over mixed terms for deterministic printing."""
+    if isinstance(term, Const):
+        return (0, term.name)
+    if isinstance(term, Null):
+        return (1, term.ident)
+    if isinstance(term, Variable):
+        return (2, term.name)
+    raise TypeError(f"unexpected term {term!r}")
+
+
+def atom(relation: RelationSymbol, *args) -> Atom:
+    """Build a ground atom, coercing raw strings/ints to constants.
+
+    >>> R = RelationSymbol("R", 2)
+    >>> atom(R, "a", Null(1))
+    R(a, ⊥1)
+    """
+    coerced = tuple(
+        arg if isinstance(arg, (Value, Variable)) else as_value(arg)
+        for arg in args
+    )
+    return Atom(relation, coerced)
+
+
+class Substitution:
+    """An immutable assignment from variables to terms.
+
+    Used by the matcher and the chase; supports functional extension
+    (returns a new substitution, never mutates), which keeps backtracking
+    code obviously correct.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[Variable, Term] = None):
+        self._mapping: Dict[Variable, Term] = dict(mapping or {})
+
+    def get(self, variable: Variable, default=None):
+        return self._mapping.get(variable, default)
+
+    def __getitem__(self, variable: Variable) -> Term:
+        return self._mapping[variable]
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __iter__(self):
+        return iter(self._mapping)
+
+    def items(self):
+        return self._mapping.items()
+
+    def extend(self, variable: Variable, term: Term) -> "Substitution":
+        """A new substitution that additionally maps ``variable`` to ``term``."""
+        mapping = dict(self._mapping)
+        mapping[variable] = term
+        return Substitution(mapping)
+
+    def extend_many(self, pairs: Iterable[Tuple[Variable, Term]]) -> "Substitution":
+        """A new substitution extended by every pair in ``pairs``."""
+        mapping = dict(self._mapping)
+        mapping.update(pairs)
+        return Substitution(mapping)
+
+    def apply(self, atom_: Atom) -> Atom:
+        """Apply this substitution to an atom."""
+        return atom_.substitute(self._mapping)
+
+    def restrict(self, variables_: Iterable[Variable]) -> "Substitution":
+        """The restriction of this substitution to ``variables_``."""
+        keep = set(variables_)
+        return Substitution(
+            {v: t for v, t in self._mapping.items() if v in keep}
+        )
+
+    def as_tuple(self, variables_: Iterable[Variable]) -> Tuple[Term, ...]:
+        """The image of ``variables_`` as a tuple, in the given order."""
+        return tuple(self._mapping[v] for v in variables_)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Substitution) and self._mapping == other._mapping
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{v} ↦ {t}" for v, t in sorted(self._mapping.items(), key=lambda p: p[0].name)
+        )
+        return f"{{{inner}}}"

@@ -1,0 +1,347 @@
+"""Instances: finite sets of atoms with incomplete data.
+
+An instance is represented by a finite set of ground atoms over
+``Dom = Const ∪ Null`` (Section 2 of the paper).  :class:`Instance` is a
+mutable container with two indexes that the conjunctive matcher exploits:
+
+* ``by relation name`` -- all atoms of a relation, and
+* ``by (relation name, position, value)`` -- all atoms of a relation with a
+  given value at a given position.
+
+Both indexes are maintained incrementally on ``add``/``discard``, so the
+chase (which adds atoms in a loop) never rebuilds them.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Set,
+    Tuple,
+)
+
+from .atoms import Atom
+from .errors import SchemaError
+from .schema import RelationSymbol, Schema
+from .terms import Const, Null, NullFactory, Value
+
+
+class Instance:
+    """A finite set of ground atoms, possibly containing nulls.
+
+    >>> from repro.core import Schema, atom
+    >>> tau = Schema.of(E=2)
+    >>> inst = Instance()
+    >>> _ = inst.add(atom(tau["E"], "a", "b"))
+    >>> len(inst)
+    1
+    """
+
+    __slots__ = ("_atoms", "_by_relation", "_by_position")
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        self._atoms: Set[Atom] = set()
+        self._by_relation: Dict[str, Set[Atom]] = {}
+        self._by_position: Dict[Tuple[str, int, Value], Set[Atom]] = {}
+        for item in atoms:
+            self.add(item)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, item: Atom) -> bool:
+        """Insert an atom; return True if it was new.
+
+        Raises if the atom is not ground: instances hold values only.
+        """
+        if not item.is_ground:
+            raise SchemaError(f"cannot add non-ground atom {item!r} to an instance")
+        if item in self._atoms:
+            return False
+        self._atoms.add(item)
+        self._by_relation.setdefault(item.relation.name, set()).add(item)
+        for position, value in enumerate(item.args):
+            key = (item.relation.name, position, value)
+            self._by_position.setdefault(key, set()).add(item)
+        return True
+
+    def add_all(self, items: Iterable[Atom]) -> int:
+        """Insert several atoms; return how many were new."""
+        return sum(1 for item in items if self.add(item))
+
+    def discard(self, item: Atom) -> bool:
+        """Remove an atom if present; return True if it was present."""
+        if item not in self._atoms:
+            return False
+        self._atoms.remove(item)
+        bucket = self._by_relation.get(item.relation.name)
+        if bucket is not None:
+            bucket.discard(item)
+            if not bucket:
+                del self._by_relation[item.relation.name]
+        for position, value in enumerate(item.args):
+            key = (item.relation.name, position, value)
+            slot = self._by_position.get(key)
+            if slot is not None:
+                slot.discard(item)
+                if not slot:
+                    del self._by_position[key]
+        return True
+
+    def replace_value(self, old: Value, new: Value) -> None:
+        """Replace every occurrence of ``old`` by ``new`` (egd application).
+
+        The paper's egd rule (Definition 4.1) replaces one null by another
+        value throughout the instance; this is that operation.
+        """
+        if old == new:
+            return
+        affected = [item for item in self._atoms if old in item.args]
+        for item in affected:
+            self.discard(item)
+        for item in affected:
+            self.add(item.rename_values({old: new}))
+
+    # ------------------------------------------------------------------
+    # Queries on the container
+    # ------------------------------------------------------------------
+
+    def __contains__(self, item: Atom) -> bool:
+        return item in self._atoms
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __bool__(self) -> bool:
+        return bool(self._atoms)
+
+    def atoms_of(self, relation) -> FrozenSet[Atom]:
+        """All atoms of a relation (by symbol or by name)."""
+        name = relation.name if isinstance(relation, RelationSymbol) else relation
+        return frozenset(self._by_relation.get(name, ()))
+
+    def atoms_with(self, relation, position: int, value: Value) -> FrozenSet[Atom]:
+        """All atoms of ``relation`` having ``value`` at ``position`` (0-based)."""
+        name = relation.name if isinstance(relation, RelationSymbol) else relation
+        return frozenset(self._by_position.get((name, position, value), ()))
+
+    def count_with(self, relation, position: int, value: Value) -> int:
+        """Cardinality of :meth:`atoms_with`, without materializing the set."""
+        name = relation.name if isinstance(relation, RelationSymbol) else relation
+        return len(self._by_position.get((name, position, value), ()))
+
+    def count_of(self, relation) -> int:
+        """Cardinality of :meth:`atoms_of`, without materializing the set."""
+        name = relation.name if isinstance(relation, RelationSymbol) else relation
+        return len(self._by_relation.get(name, ()))
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of relations with at least one atom, sorted."""
+        return tuple(sorted(self._by_relation))
+
+    # ------------------------------------------------------------------
+    # Domains
+    # ------------------------------------------------------------------
+
+    def active_domain(self) -> FrozenSet[Value]:
+        """``Dom(I)``: every value occurring in some atom."""
+        values: Set[Value] = set()
+        for item in self._atoms:
+            values.update(item.args)
+        return frozenset(values)
+
+    def constants(self) -> FrozenSet[Const]:
+        """``Const(I) = Dom(I) ∩ Const``."""
+        return frozenset(v for v in self.active_domain() if isinstance(v, Const))
+
+    def nulls(self) -> FrozenSet[Null]:
+        """``Null(I) = Dom(I) ∩ Null``."""
+        return frozenset(v for v in self.active_domain() if isinstance(v, Null))
+
+    @property
+    def is_ground(self) -> bool:
+        """True if the instance contains no nulls (e.g. a source instance)."""
+        return not self.nulls()
+
+    def null_factory(self) -> NullFactory:
+        """A factory of nulls fresh with respect to this instance."""
+        return NullFactory.above(self.active_domain())
+
+    # ------------------------------------------------------------------
+    # Set-like algebra
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Instance":
+        """An independent copy (indexes are rebuilt incrementally)."""
+        return Instance(self._atoms)
+
+    def union(self, other: "Instance") -> "Instance":
+        """A new instance holding the atoms of both."""
+        result = self.copy()
+        result.add_all(other)
+        return result
+
+    def __or__(self, other: "Instance") -> "Instance":
+        return self.union(other)
+
+    def difference(self, other: "Instance") -> "Instance":
+        """A new instance holding atoms of self not in other."""
+        return Instance(item for item in self._atoms if item not in other)
+
+    def issubset(self, other: "Instance") -> bool:
+        """True if every atom of self is an atom of other."""
+        return all(item in other for item in self._atoms)
+
+    def reduct(self, schema: Schema) -> "Instance":
+        """The σ-reduct ``I|σ``: atoms whose relation belongs to ``schema``."""
+        return Instance(
+            item for item in self._atoms if item.relation in schema
+        )
+
+    def rename_values(self, mapping: Mapping[Value, Value]) -> "Instance":
+        """The image of this instance under a value mapping (h(I))."""
+        return Instance(item.rename_values(mapping) for item in self._atoms)
+
+    def frozen(self) -> FrozenSet[Atom]:
+        """A hashable snapshot of the atom set (used for cycle detection)."""
+        return frozenset(self._atoms)
+
+    # ------------------------------------------------------------------
+    # Equality and canonical forms
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Instance) and self._atoms == other._atoms
+
+    def __hash__(self):
+        raise TypeError(
+            "Instance is mutable and unhashable; use .frozen() for a snapshot"
+        )
+
+    def canonical_renaming(self) -> Dict[Null, Null]:
+        """A renaming of nulls to 0,1,2,... in deterministic order.
+
+        Two instances equal "up to renaming of nulls" become literally
+        equal after canonicalization whenever the renaming implied by the
+        deterministic atom order matches; :func:`isomorphic` performs the
+        full (backtracking) check.
+        """
+        ordering: List[Null] = []
+        seen: Set[Null] = set()
+        for item in sorted(self._atoms):
+            for value in item.args:
+                if isinstance(value, Null) and value not in seen:
+                    seen.add(value)
+                    ordering.append(value)
+        return {old: Null(index) for index, old in enumerate(ordering)}
+
+    def canonical(self) -> "Instance":
+        """This instance with nulls renamed canonically."""
+        return self.rename_values(self.canonical_renaming())
+
+    def sorted_atoms(self) -> List[Atom]:
+        """The atoms in deterministic order (for printing and tests)."""
+        return sorted(self._atoms)
+
+    def __repr__(self) -> str:
+        if not self._atoms:
+            return "Instance(∅)"
+        inner = ", ".join(repr(item) for item in self.sorted_atoms())
+        return f"Instance({{{inner}}})"
+
+    def pretty(self, indent: str = "  ") -> str:
+        """A multi-line rendering grouped by relation, for examples/docs."""
+        lines: List[str] = []
+        for name in self.relation_names():
+            rendered = ", ".join(
+                repr(item) for item in sorted(self._by_relation[name])
+            )
+            lines.append(f"{indent}{rendered}")
+        return "\n".join(lines) if lines else f"{indent}(empty)"
+
+
+def isomorphic(left: Instance, right: Instance) -> bool:
+    """Decide whether two instances are equal up to renaming of nulls.
+
+    Constants must map to themselves; nulls must map bijectively to nulls.
+    This is the paper's "up to renaming of nulls" equivalence, used e.g. to
+    compare cores.  Backtracking over null pairings with degree-based
+    pruning; exponential in the worst case but instant at test scale.
+    """
+    if len(left) != len(right):
+        return False
+    if left.constants() != right.constants():
+        return False
+    left_nulls = sorted(left.nulls())
+    right_nulls = sorted(right.nulls())
+    if len(left_nulls) != len(right_nulls):
+        return False
+    if not left_nulls:
+        return left == right
+
+    def signature(instance: Instance, value: Value) -> Tuple:
+        entries = []
+        for item in instance:
+            for position, arg in enumerate(item.args):
+                if arg == value:
+                    entries.append((item.relation.name, position))
+        return tuple(sorted(entries))
+
+    right_by_signature: Dict[Tuple, List[Null]] = {}
+    for value in right_nulls:
+        right_by_signature.setdefault(signature(right, value), []).append(value)
+
+    candidates: List[Tuple[Null, List[Null]]] = []
+    for value in left_nulls:
+        options = right_by_signature.get(signature(left, value))
+        if not options:
+            return False
+        candidates.append((value, options))
+    # Most constrained first.
+    candidates.sort(key=lambda pair: len(pair[1]))
+
+    right_atoms = right.frozen()
+
+    def extend(index: int, mapping: Dict[Null, Null], used: Set[Null]) -> bool:
+        if index == len(candidates):
+            return all(
+                item.rename_values(mapping) in right_atoms for item in left
+            )
+        value, options = candidates[index]
+        for option in options:
+            if option in used:
+                continue
+            mapping[value] = option
+            used.add(option)
+            # Local consistency: every left atom fully mapped so far must exist.
+            consistent = True
+            for item in left:
+                if value in item.args:
+                    image = item.rename_values(mapping)
+                    if image.is_ground and not any(
+                        isinstance(arg, Null) and arg not in mapping.values()
+                        for arg in image.args
+                    ):
+                        mapped_everything = all(
+                            not isinstance(arg, Null) or arg in mapping
+                            for arg in item.args
+                        )
+                        if mapped_everything and image not in right_atoms:
+                            consistent = False
+                            break
+            if consistent and extend(index + 1, mapping, used):
+                return True
+            del mapping[value]
+            used.discard(option)
+        return False
+
+    return extend(0, {}, set())

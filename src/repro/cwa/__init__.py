@@ -1,0 +1,41 @@
+"""CWA-solutions: the paper's central contribution (Sections 4-5)."""
+
+from .enumeration import enumerate_cwa_presolutions, enumerate_cwa_solutions
+from .presolution import find_alpha, is_cwa_presolution
+from .space import SolutionSpace
+from .solution import (
+    UnsupportedSettingError,
+    canonical_fact,
+    cansol,
+    core_solution,
+    cwa_solution_exists,
+    embeds_into,
+    fact_follows,
+    is_cwa_solution,
+    is_cwa_solution_by_definition,
+    is_homomorphic_image_of,
+    is_maximal_cwa_solution,
+    is_minimal_cwa_solution,
+    minimal_cwa_solution,
+)
+
+__all__ = [
+    "SolutionSpace",
+    "UnsupportedSettingError",
+    "canonical_fact",
+    "cansol",
+    "fact_follows",
+    "is_cwa_solution_by_definition",
+    "core_solution",
+    "cwa_solution_exists",
+    "embeds_into",
+    "enumerate_cwa_presolutions",
+    "enumerate_cwa_solutions",
+    "find_alpha",
+    "is_cwa_presolution",
+    "is_cwa_solution",
+    "is_homomorphic_image_of",
+    "is_maximal_cwa_solution",
+    "is_minimal_cwa_solution",
+    "minimal_cwa_solution",
+]

@@ -1,0 +1,176 @@
+"""The space of CWA-solutions as a homomorphism-ordered poset.
+
+Section 5 of the paper studies the *structure* of S_CWA: the core is the
+unique minimal element (Theorem 5.1), maximal elements may not exist
+(Example 5.3), and restricted settings have a maximum (Proposition 5.4).
+:class:`SolutionSpace` materializes that structure for small inputs:
+
+* enumerate the solutions (up to renaming of nulls),
+* order them by "is a homomorphic image of" (the paper's comparison for
+  maximality) -- T ≤ T' iff T = h(T') for some homomorphism h,
+* report minimal/maximal elements, the largest antichain of pairwise
+  incomparable solutions (Example 5.3's phenomenon), and whether the
+  space is a chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.instance import Instance
+from ..exchange.setting import DataExchangeSetting
+from .enumeration import enumerate_cwa_solutions
+from .solution import embeds_into, is_homomorphic_image_of
+
+
+class SolutionSpace:
+    """The enumerated CWA-solution space of one (D, S) pair."""
+
+    def __init__(self, setting: DataExchangeSetting, source: Instance, solutions: Sequence[Instance]):
+        self.setting = setting
+        self.source = source
+        self.solutions: List[Instance] = list(solutions)
+        # image_of[i][j] == True iff solutions[i] is a hom-image of [j].
+        size = len(self.solutions)
+        self._image_of: List[List[bool]] = [
+            [False] * size for _ in range(size)
+        ]
+        for i, small in enumerate(self.solutions):
+            for j, large in enumerate(self.solutions):
+                if i == j:
+                    self._image_of[i][j] = True
+                else:
+                    self._image_of[i][j] = is_homomorphic_image_of(small, large)
+
+    @classmethod
+    def build(
+        cls,
+        setting: DataExchangeSetting,
+        source: Instance,
+        **enumeration_kwargs,
+    ) -> "SolutionSpace":
+        """Enumerate and order the space (small inputs only)."""
+        solutions = enumerate_cwa_solutions(
+            setting, source, **enumeration_kwargs
+        )
+        return cls(setting, source, solutions)
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    def __iter__(self):
+        return iter(self.solutions)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.solutions
+
+    # ------------------------------------------------------------------
+    # Order structure
+    # ------------------------------------------------------------------
+
+    def below(self, i: int, j: int) -> bool:
+        """Is solution i a homomorphic image of solution j?"""
+        return self._image_of[i][j]
+
+    def comparable(self, i: int, j: int) -> bool:
+        return self.below(i, j) or self.below(j, i)
+
+    def minimal_indices(self) -> List[int]:
+        """Solutions contained (up to renaming of nulls) in every other.
+
+        The paper's minimality notion; by Theorem 5.1 exactly the core
+        qualifies (when solutions exist).
+        """
+        return [
+            i
+            for i, candidate in enumerate(self.solutions)
+            if all(
+                embeds_into(candidate, other)
+                for j, other in enumerate(self.solutions)
+                if j != i
+            )
+        ]
+
+    def maximal_indices(self) -> List[int]:
+        """Solutions of which every solution is a homomorphic image."""
+        size = len(self.solutions)
+        return [
+            j
+            for j in range(size)
+            if all(self.below(i, j) for i in range(size))
+        ]
+
+    def has_maximum(self) -> bool:
+        return bool(self.maximal_indices())
+
+    def largest_antichain(self) -> List[int]:
+        """A maximum set of pairwise hom-incomparable solutions.
+
+        Exact for the small spaces this class targets (greedy over all
+        orderings would be unsound; we do a simple exponential search
+        with memo on bitsets, fine for |space| ≤ ~20).
+        """
+        size = len(self.solutions)
+        best: List[int] = []
+
+        def extend(start: int, chosen: List[int]) -> None:
+            nonlocal best
+            if len(chosen) > len(best):
+                best = list(chosen)
+            for candidate in range(start, size):
+                if all(not self.comparable(candidate, other) for other in chosen):
+                    chosen.append(candidate)
+                    extend(candidate + 1, chosen)
+                    chosen.pop()
+
+        extend(0, [])
+        return best
+
+    def is_chain(self) -> bool:
+        """True iff every pair of solutions is comparable."""
+        size = len(self.solutions)
+        return all(
+            self.comparable(i, j)
+            for i in range(size)
+            for j in range(i + 1, size)
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def census(self) -> Dict[str, object]:
+        """A summary dict for reports and benchmarks."""
+        return {
+            "solutions": len(self.solutions),
+            "minimal": len(self.minimal_indices()),
+            "maximal": len(self.maximal_indices()),
+            "largest_antichain": len(self.largest_antichain()),
+            "is_chain": self.is_chain(),
+        }
+
+    def describe(self) -> str:
+        census = self.census()
+        lines = [
+            f"CWA-solution space: {census['solutions']} solution(s) "
+            "(up to renaming of nulls)",
+            f"  minimal (the core, Thm 5.1): {census['minimal']}",
+            f"  maximal: {census['maximal']}"
+            + ("  -- none exists!" if census["maximal"] == 0 else ""),
+            f"  largest antichain of incomparable solutions: "
+            f"{census['largest_antichain']}",
+            f"  totally ordered: {census['is_chain']}",
+        ]
+        for index, solution in enumerate(self.solutions):
+            marks = []
+            if index in self.minimal_indices():
+                marks.append("minimal")
+            if index in self.maximal_indices():
+                marks.append("maximal")
+            suffix = f"  [{', '.join(marks)}]" if marks else ""
+            lines.append(
+                f"  #{index}: {len(solution)} atoms, "
+                f"{len(solution.nulls())} nulls{suffix}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Dependencies: tgds, egds, and acyclicity analysis."""
+
+from .base import Dependency, parse_dependencies, parse_dependency, split_dependencies
+from .egd import Egd
+from .graph import (
+    DependencyGraph,
+    chase_depth_bound,
+    dependency_graph,
+    is_richly_acyclic,
+    is_weakly_acyclic,
+)
+from .tgd import Tgd
+
+__all__ = [
+    "Dependency",
+    "DependencyGraph",
+    "Egd",
+    "Tgd",
+    "chase_depth_bound",
+    "dependency_graph",
+    "is_richly_acyclic",
+    "is_weakly_acyclic",
+    "parse_dependencies",
+    "parse_dependency",
+    "split_dependencies",
+]

@@ -1,0 +1,25 @@
+"""Data exchange settings and the end-to-end solve driver."""
+
+from .copying import (
+    COPY_SUFFIX,
+    copy_instance,
+    copying_setting,
+    copying_setting_with_domain,
+)
+from .report import ExchangeReport, render, report
+from .setting import DataExchangeSetting
+from .solve import ExchangeResult, existence_of_cwa_solutions, solve
+
+__all__ = [
+    "COPY_SUFFIX",
+    "DataExchangeSetting",
+    "ExchangeReport",
+    "ExchangeResult",
+    "copy_instance",
+    "copying_setting",
+    "copying_setting_with_domain",
+    "existence_of_cwa_solutions",
+    "render",
+    "report",
+    "solve",
+]

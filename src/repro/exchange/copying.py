@@ -1,0 +1,86 @@
+"""Copying data exchange settings (Section 3).
+
+A setting is *copying* if it is of the form ``(σ, τ, Σ_st, ∅)`` where
+``τ = {R' | R ∈ σ}`` and ``Σ_st = {R(x̄) → R'(x̄) | R ∈ σ}``: a source
+instance is just copied to the target.  The paper uses these settings to
+exhibit the anomalies of the classical certain answers semantics and to
+show that the CWA semantics behaves as expected (``S_CWA = {T*}`` with
+``T* = {R'(ū) | R(ū) ∈ S}``).
+
+Also provided: the extension with a unary "domain" relation D and
+s-t-tgds ``R(x₁, ..., x_r) → D(x_i)`` for every R and i, on which the
+*certain universal answers* semantics of [7] exhibits the same anomaly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.atoms import Atom
+from ..core.instance import Instance
+from ..core.schema import RelationSymbol, Schema
+from ..core.terms import Variable
+from ..dependencies.tgd import Tgd
+from .setting import DataExchangeSetting
+
+COPY_SUFFIX = "_t"
+
+
+def copying_setting(source_schema: Schema, suffix: str = COPY_SUFFIX) -> DataExchangeSetting:
+    """The copying setting over ``source_schema``.
+
+    >>> setting = copying_setting(Schema.of(E=2, P=1))
+    >>> sorted(r.name for r in setting.target_schema)
+    ['E_t', 'P_t']
+    """
+    target_schema = source_schema.primed(suffix)
+    st_dependencies: List[Tgd] = []
+    for relation in source_schema:
+        variables = tuple(Variable(f"x{i + 1}") for i in range(relation.arity))
+        st_dependencies.append(
+            Tgd(
+                premise_atoms=[Atom(relation, variables)],
+                conclusion_atoms=[Atom(relation.primed(suffix), variables)],
+                name=f"copy_{relation.name}",
+            )
+        )
+    return DataExchangeSetting(source_schema, target_schema, st_dependencies)
+
+
+def copying_setting_with_domain(
+    source_schema: Schema, suffix: str = COPY_SUFFIX, domain_name: str = "Dom"
+) -> DataExchangeSetting:
+    """A copying setting extended by ``R(x₁,...,x_r) → D(x_i)`` tgds.
+
+    This is the setting from the end of Section 3 on which the certain
+    *universal* answers semantics misbehaves.
+    """
+    domain_relation = RelationSymbol(domain_name, 1)
+    target_schema = source_schema.primed(suffix) | Schema([domain_relation])
+    st_dependencies: List[Tgd] = []
+    for relation in source_schema:
+        variables = tuple(Variable(f"x{i + 1}") for i in range(relation.arity))
+        st_dependencies.append(
+            Tgd(
+                premise_atoms=[Atom(relation, variables)],
+                conclusion_atoms=[Atom(relation.primed(suffix), variables)],
+                name=f"copy_{relation.name}",
+            )
+        )
+        for index in range(relation.arity):
+            st_dependencies.append(
+                Tgd(
+                    premise_atoms=[Atom(relation, variables)],
+                    conclusion_atoms=[Atom(domain_relation, (variables[index],))],
+                    name=f"dom_{relation.name}_{index + 1}",
+                )
+            )
+    return DataExchangeSetting(source_schema, target_schema, st_dependencies)
+
+
+def copy_instance(source: Instance, source_schema: Schema, suffix: str = COPY_SUFFIX) -> Instance:
+    """``S' = {R'(ū) | R(ū) ∈ S}`` -- the intuitively right solution."""
+    copied = Instance()
+    for item in source:
+        copied.add(Atom(item.relation.primed(suffix), item.args))
+    return copied

@@ -1,0 +1,140 @@
+"""Structured exchange reports: everything about one (D, S) pair.
+
+``report(setting, source)`` assembles the full picture a practitioner
+wants before trusting an exchange: the setting's acyclicity class, the
+chase outcome, canonical solution and core sizes, the Gaifman block
+census, per-null justifications (recovered through the α witness of the
+core), and a sample of certain answers.  ``render`` turns it into text;
+the CLI exposes it as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import ChaseDivergence
+from ..core.instance import Instance
+from ..cwa.presolution import find_alpha
+from ..homomorphism.blocks import block_statistics
+from .setting import DataExchangeSetting
+from .solve import ExchangeResult, solve
+
+
+class ExchangeReport:
+    """All derived facts about one exchange, ready to render."""
+
+    def __init__(
+        self,
+        setting: DataExchangeSetting,
+        source: Instance,
+        result: Optional[ExchangeResult],
+        diverged: Optional[str],
+    ):
+        self.setting = setting
+        self.source = source
+        self.result = result
+        self.diverged = diverged
+        self.justifications: List[Tuple[str, str]] = []
+        if result is not None and result.core_solution is not None:
+            self._collect_justifications()
+
+    def _collect_justifications(self) -> None:
+        """Per-justification witness values of the core's α (if found)."""
+        alpha = find_alpha(self.setting, self.source, self.result.core_solution)
+        if alpha is None:  # pragma: no cover - Theorem 5.1 says never
+            return
+        for (tgd, u, v), witnesses in sorted(
+            alpha.assigned().items(),
+            key=lambda item: (item[0][0].name, str(item[0][1]), str(item[0][2])),
+        ):
+            if not witnesses:
+                continue
+            trigger = ", ".join(str(value) for value in u + v)
+            produced = ", ".join(str(value) for value in witnesses)
+            self.justifications.append(
+                (f"{tgd.name or 'tgd'} on ({trigger})", produced)
+            )
+
+    @property
+    def status(self) -> str:
+        if self.diverged is not None:
+            return "diverged"
+        if self.result is None or not self.result.cwa_solution_exists:
+            return "no solution"
+        return "solved"
+
+
+def report(
+    setting: DataExchangeSetting,
+    source: Instance,
+    *,
+    max_steps: int = 200_000,
+) -> ExchangeReport:
+    """Build the report; chase divergence is captured, not raised."""
+    try:
+        result = solve(setting, source, max_steps=max_steps)
+        return ExchangeReport(setting, source, result, None)
+    except ChaseDivergence as divergence:
+        return ExchangeReport(setting, source, None, str(divergence))
+
+
+def render(exchange_report: ExchangeReport) -> str:
+    """Human-readable rendering of a report."""
+    setting = exchange_report.setting
+    source = exchange_report.source
+    lines: List[str] = []
+    lines.append("=== data exchange report ===")
+    lines.append(
+        f"setting: |Σst| = {len(setting.st_dependencies)}, "
+        f"|Σt| = {len(setting.target_dependencies)} "
+        f"({len(setting.target_tgds)} tgds, {len(setting.target_egds)} egds)"
+    )
+    lines.append(
+        "acyclicity: "
+        + ("richly acyclic" if setting.is_richly_acyclic else "")
+        + (
+            "weakly acyclic (not richly)"
+            if setting.is_weakly_acyclic and not setting.is_richly_acyclic
+            else ""
+        )
+        + ("NOT weakly acyclic" if not setting.is_weakly_acyclic else "")
+    )
+    if setting.target_dependencies_are_egds_only:
+        lines.append("class: Σt egds only (CanSol exists, Prop. 5.4)")
+    elif setting.is_full_and_egd_setting:
+        lines.append("class: full tgds + egds (CanSol exists, Prop. 5.4)")
+    lines.append(f"source: {len(source)} atoms over {source.relation_names()}")
+
+    if exchange_report.status == "diverged":
+        lines.append(f"chase: DIVERGED -- {exchange_report.diverged}")
+        return "\n".join(lines)
+    if exchange_report.status == "no solution":
+        lines.append(
+            "chase: FAILED -- an egd equated distinct constants; "
+            "no (CWA-)solution exists"
+        )
+        return "\n".join(lines)
+
+    result = exchange_report.result
+    lines.append(f"chase: success in {result.chase_steps} steps")
+    canonical = result.canonical_solution
+    minimal = result.core_solution
+    lines.append(
+        f"canonical universal solution: {len(canonical)} atoms, "
+        f"{len(canonical.nulls())} nulls"
+    )
+    stats = block_statistics(canonical)
+    lines.append(
+        f"gaifman blocks: {stats['blocks']} "
+        f"(largest {stats['largest']}, avg {stats['average']:.1f})"
+    )
+    lines.append(
+        f"core (minimal CWA-solution): {len(minimal)} atoms, "
+        f"{len(minimal.nulls())} nulls "
+        f"({len(canonical) - len(minimal)} atoms folded away)"
+    )
+    if exchange_report.justifications:
+        lines.append("null justifications (the core's α witness):")
+        for trigger, produced in exchange_report.justifications:
+            lines.append(f"  {trigger} ↦ {produced}")
+    return "\n".join(lines)

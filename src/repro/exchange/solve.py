@@ -1,0 +1,142 @@
+"""End-to-end data exchange driver.
+
+``solve`` runs a complete exchange: chase, canonical universal solution,
+core (= minimal CWA-solution), existence verdicts -- everything Section 6
+associates with "computing a CWA-solution".  The result object carries
+enough to answer queries afterwards without re-chasing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import ChaseDivergence, ReproError
+from ..core.instance import Instance
+from ..chase.result import ChaseStatus
+from ..chase.seminaive import seminaive_chase
+from ..chase.standard import DEFAULT_MAX_STEPS, standard_chase
+from ..homomorphism.blocks import blockwise_core
+from ..homomorphism.core_computation import core
+from .setting import DataExchangeSetting
+
+CHASE_ENGINES = {
+    "standard": standard_chase,
+    "seminaive": seminaive_chase,
+}
+
+CORE_ALGORITHMS = {
+    "blockwise": blockwise_core,
+    "folding": core,
+}
+
+
+class ExchangeResult:
+    """Outcome of one data exchange run.
+
+    Attributes
+    ----------
+    setting, source:
+        The inputs.
+    canonical_solution:
+        The standard-chase result restricted to τ, or None when the
+        chase failed (no solution exists).
+    core_solution:
+        ``Core_D(S)`` -- by Theorem 5.1 the minimal CWA-solution -- or
+        None when no solution exists.
+    chase_steps:
+        Number of chase steps performed.
+    """
+
+    __slots__ = ("setting", "source", "canonical_solution", "core_solution", "chase_steps")
+
+    def __init__(self, setting, source, canonical_solution, core_solution, chase_steps):
+        self.setting: DataExchangeSetting = setting
+        self.source: Instance = source
+        self.canonical_solution: Optional[Instance] = canonical_solution
+        self.core_solution: Optional[Instance] = core_solution
+        self.chase_steps: int = chase_steps
+
+    @property
+    def cwa_solution_exists(self) -> bool:
+        """Corollary 5.2: iff a universal solution exists."""
+        return self.core_solution is not None
+
+    @property
+    def cwa_solution(self) -> Optional[Instance]:
+        """The CWA-solution this run produces: the core (Theorem 5.1)."""
+        return self.core_solution
+
+    def __repr__(self) -> str:
+        if not self.cwa_solution_exists:
+            return "ExchangeResult(no solution)"
+        return (
+            f"ExchangeResult(|canonical|={len(self.canonical_solution)}, "
+            f"|core|={len(self.core_solution)}, steps={self.chase_steps})"
+        )
+
+
+def solve(
+    setting: DataExchangeSetting,
+    source: Instance,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    compute_core: bool = True,
+    engine: str = "standard",
+    core_algorithm: str = "blockwise",
+) -> ExchangeResult:
+    """Run the data exchange for ``source`` under ``setting``.
+
+    This is the polynomial-time procedure of Proposition 6.6 for weakly
+    acyclic settings: standard chase (polynomially many steps), then the
+    core.  For non-weakly-acyclic settings the chase may diverge, in
+    which case :class:`ChaseDivergence` propagates -- the Existence
+    problem is undecidable in general (Theorem 6.2), so no budget-free
+    procedure can exist.
+
+    ``engine`` selects the trigger-discovery strategy ("standard" =
+    batched rescans, "seminaive" = delta-driven); both produce
+    hom-equivalent canonical solutions and identical cores.
+    ``core_algorithm`` is "blockwise" (Gaifman-block folding with exact
+    fallback) or "folding" (global endomorphism folding).
+    """
+    setting.validate_source(source)
+    try:
+        chase = CHASE_ENGINES[engine]
+    except KeyError:
+        raise ReproError(
+            f"unknown chase engine {engine!r}; pick one of "
+            f"{sorted(CHASE_ENGINES)}"
+        ) from None
+    try:
+        core_of = CORE_ALGORITHMS[core_algorithm]
+    except KeyError:
+        raise ReproError(
+            f"unknown core algorithm {core_algorithm!r}; pick one of "
+            f"{sorted(CORE_ALGORITHMS)}"
+        ) from None
+    outcome = chase(
+        source, list(setting.all_dependencies), max_steps=max_steps
+    )
+    if outcome.status is ChaseStatus.FAILURE:
+        return ExchangeResult(setting, source, None, None, outcome.steps)
+    if outcome.status is ChaseStatus.DIVERGED:
+        raise ChaseDivergence(outcome.steps, outcome.reason)
+    canonical = outcome.instance.reduct(setting.target_schema)
+    core_instance = core_of(canonical) if compute_core else None
+    return ExchangeResult(setting, source, canonical, core_instance, outcome.steps)
+
+
+def existence_of_cwa_solutions(
+    setting: DataExchangeSetting,
+    source: Instance,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> bool:
+    """The Existence-of-CWA-Solutions(D) decision problem (Section 6).
+
+    PTIME for weakly acyclic settings (Proposition 6.6), undecidable in
+    general (Theorem 6.2) -- the step budget makes this a semi-decision
+    procedure outside the weakly acyclic class.
+    """
+    result = solve(setting, source, max_steps=max_steps, compute_core=False)
+    return result.canonical_solution is not None

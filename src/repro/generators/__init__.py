@@ -1,0 +1,48 @@
+"""Workload generators and the paper's named settings."""
+
+from .random_instances import (
+    chain_setting,
+    chain_source,
+    cycle_instance,
+    employee_source,
+    example_2_1_scaled_source,
+    random_graph_instance,
+    random_source_instance,
+    section_3_source,
+    star_source,
+)
+from .random_settings import random_source_for, random_weakly_acyclic_setting
+from .settings_library import (
+    egd_only_setting,
+    example_2_1_setting,
+    example_2_1_solutions,
+    example_2_1_source,
+    example_4_9_non_solutions,
+    example_5_3_named_solutions,
+    example_5_3_setting,
+    example_5_3_source,
+    full_tgd_setting,
+)
+
+__all__ = [
+    "chain_setting",
+    "chain_source",
+    "cycle_instance",
+    "egd_only_setting",
+    "employee_source",
+    "example_2_1_scaled_source",
+    "example_2_1_setting",
+    "example_2_1_solutions",
+    "example_2_1_source",
+    "example_4_9_non_solutions",
+    "example_5_3_named_solutions",
+    "example_5_3_setting",
+    "example_5_3_source",
+    "full_tgd_setting",
+    "random_graph_instance",
+    "random_source_for",
+    "random_weakly_acyclic_setting",
+    "random_source_instance",
+    "section_3_source",
+    "star_source",
+]

@@ -1,0 +1,147 @@
+"""The paper's named settings and instances, ready to use.
+
+Each function returns exactly the object defined in the paper, so tests
+and examples can refer to "Example 2.1" and get the real thing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.instance import Instance
+from ..core.schema import Schema
+from ..exchange.setting import DataExchangeSetting
+from ..logic.parser import parse_instance
+
+
+def example_2_1_setting() -> DataExchangeSetting:
+    """Example 2.1: ``σ = {M, N}``, ``τ = {E, F, G}`` and
+
+    * d₁ = ``M(x₁,x₂) → E(x₁,x₂)``
+    * d₂ = ``N(x,y) → ∃z₁,z₂ (E(x,z₁) ∧ F(x,z₂))``
+    * d₃ = ``F(y,x) → ∃z G(x,z)``
+    * d₄ = ``F(x,y) ∧ F(x,z) → y = z``
+    """
+    sigma = Schema.of(M=2, N=2)
+    tau = Schema.of(E=2, F=2, G=2)
+    setting = DataExchangeSetting.from_strings(
+        sigma,
+        tau,
+        [
+            "M(x1,x2) -> E(x1,x2)",
+            "N(x,y) -> exists z1, z2 . E(x,z1) & F(x,z2)",
+        ],
+        [
+            "F(y,x) -> exists z . G(x,z)",
+            "F(x,y) & F(x,z) -> y = z",
+        ],
+    )
+    setting.st_dependencies[0].name = "d1"
+    setting.st_dependencies[1].name = "d2"
+    setting.target_dependencies[0].name = "d3"
+    setting.target_dependencies[1].name = "d4"
+    return setting
+
+
+def example_2_1_source() -> Instance:
+    """``S* = {M(a,b), N(a,b), N(a,c)}``."""
+    return parse_instance("M('a','b'), N('a','b'), N('a','c')")
+
+
+def example_2_1_solutions() -> Tuple[Instance, Instance, Instance]:
+    """The paper's T₁, T₂, T₃ (T₂, T₃ universal; T₁ not)."""
+    t1 = parse_instance(
+        "E('a','b'), E('a',#1), E('c',#2), F('a','d'), G('d',#3)"
+    )
+    t2 = parse_instance(
+        "E('a','b'), E('a',#1), E('a',#2), F('a',#3), G(#3,#4)"
+    )
+    t3 = parse_instance("E('a','b'), F('a',#1), G(#1,#2)")
+    return t1, t2, t3
+
+
+def example_4_9_non_solutions() -> Tuple[Instance, Instance]:
+    """Example 4.9's T' (presolution, not universal) and T'' (universal,
+    not a presolution).
+
+    The conference text prints T'' as {E(a,b), E(⊥₃,b), F(b,⊥₁),
+    G(⊥₁,⊥₂)}; the F-atom must read F(a,⊥₁) for T'' to satisfy d₂ at
+    all (N(a,·) forces F(a, z₂)), so we use the corrected instance.
+    """
+    t_prime = parse_instance("E('a','b'), F('a',#1), G(#1,'b')")
+    t_double_prime = parse_instance(
+        "E('a','b'), E(#3,'b'), F('a',#1), G(#1,#2)"
+    )
+    return t_prime, t_double_prime
+
+
+def example_5_3_setting() -> DataExchangeSetting:
+    """Example 5.3: exponentially many incomparable CWA-solutions.
+
+    * d₁ = ``P(x) → ∃z₁,z₂,z₃,z₄ (E(x,z₁,z₃) ∧ E(x,z₂,z₄))``
+    * d₂ = ``E(x,x₁,y) ∧ E(x,x₂,y) → F(x,x₁,x₂)``
+    """
+    sigma = Schema.of(P=1)
+    tau = Schema.of(E=3, F=3)
+    setting = DataExchangeSetting.from_strings(
+        sigma,
+        tau,
+        ["P(x) -> exists z1, z2, z3, z4 . E(x,z1,z3) & E(x,z2,z4)"],
+        ["E(x,x1,y) & E(x,x2,y) -> F(x,x1,x2)"],
+    )
+    setting.st_dependencies[0].name = "d1"
+    setting.target_dependencies[0].name = "d2"
+    return setting
+
+
+def example_5_3_source(n: int = 1) -> Instance:
+    """``S_n = {P(1), ..., P(n)}``."""
+    instance = Instance()
+    schema = Schema.of(P=1)
+    for index in range(1, n + 1):
+        instance.add_all(parse_instance(f"P({index})", schema))
+    return instance
+
+
+def example_5_3_named_solutions() -> Tuple[Instance, Instance]:
+    """The paper's T (with z₃ ≠ z₄) and T' (with z₃ = z₄) for S = {P(1)}.
+
+    T  = {E(1,⊥₁,⊥₃), E(1,⊥₂,⊥₄), F(1,⊥₁,⊥₁), F(1,⊥₂,⊥₂)}
+    T' = {E(1,⊥₁,⊥₃), E(1,⊥₂,⊥₃), F(1,⊥₁,⊥₁), F(1,⊥₂,⊥₂),
+          F(1,⊥₁,⊥₂), F(1,⊥₂,⊥₁)}
+    """
+    t = parse_instance(
+        "E(1,#1,#3), E(1,#2,#4), F(1,#1,#1), F(1,#2,#2)"
+    )
+    t_prime = parse_instance(
+        "E(1,#1,#3), E(1,#2,#3), F(1,#1,#1), F(1,#2,#2), "
+        "F(1,#1,#2), F(1,#2,#1)"
+    )
+    return t, t_prime
+
+
+def egd_only_setting() -> DataExchangeSetting:
+    """A small setting whose target dependencies are egds only -- the
+    first restricted class of Proposition 5.4 (row 3 of Table 1)."""
+    sigma = Schema.of(Emp=2)
+    tau = Schema.of(Dept=2)
+    return DataExchangeSetting.from_strings(
+        sigma,
+        tau,
+        ["Emp(e, d) -> exists m . Dept(d, m)"],
+        ["Dept(d, m1) & Dept(d, m2) -> m1 = m2"],
+    )
+
+
+def full_tgd_setting() -> DataExchangeSetting:
+    """A setting with full tgds and egds only -- the second restricted
+    class of Proposition 5.4 (row 4 of Table 1).  Computes reachability
+    (transitive closure), the canonical PTIME-complete flavour."""
+    sigma = Schema.of(Edge=2, Start=1)
+    tau = Schema.of(Reach=1, Link=2)
+    return DataExchangeSetting.from_strings(
+        sigma,
+        tau,
+        ["Edge(x, y) -> Link(x, y)", "Start(x) -> Reach(x)"],
+        ["Reach(x) & Link(x, y) -> Reach(y)"],
+    )

@@ -1,0 +1,91 @@
+"""Core computation by endomorphism folding.
+
+The *core* of an instance I (Hell-Nešetřil, reference [9] of the paper) is
+a subinstance J ⊆ I with a homomorphism I → J such that no proper
+subinstance of J admits a homomorphism from J.  Every finite instance has
+a core, unique up to renaming of nulls.
+
+Algorithm
+---------
+Repeatedly look for an atom A that can be *folded away*: a homomorphism
+from I into I ∖ {A}.  If one exists, replace I by its image (a proper
+subinstance missing A) and continue; when no atom can be folded away, I is
+its own core:
+
+* if I were not a core there would be a proper endomorphism h with
+  h(I) ⊊ I, so some atom A ∈ I ∖ h(I) could be folded away;
+* constants are fixed by homomorphisms, so atoms containing only
+  constants can never be dropped -- the search skips them.
+
+This is simple and exact; it is worst-case exponential (homomorphism
+checks are NP-hard in general), unlike the polynomial Gottlob-Nash
+algorithm the paper cites [8], but on chase results with the indexed
+matcher it is fast at every scale our benchmarks use (see DESIGN.md,
+"Deviations").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.atoms import Atom
+from ..core.instance import Instance
+from .search import find_homomorphism, has_homomorphism
+
+
+def _foldable_atoms(instance: Instance) -> List[Atom]:
+    """Atoms that could possibly be dropped: those containing a null."""
+    return [item for item in instance.sorted_atoms() if item.nulls]
+
+
+def fold_step(instance: Instance) -> Optional[Instance]:
+    """One folding step: return a proper retract of ``instance``, or None.
+
+    Tries to drop each null-containing atom; on success returns the
+    *image* of the found homomorphism (which may drop several atoms at
+    once, accelerating convergence).
+    """
+    for item in _foldable_atoms(instance):
+        smaller = instance.copy()
+        smaller.discard(item)
+        mapping = find_homomorphism(instance, smaller)
+        if mapping is not None:
+            return instance.rename_values(mapping)
+    return None
+
+
+def core(instance: Instance) -> Instance:
+    """The core of ``instance`` (up to renaming of nulls, deterministic).
+
+    >>> from repro.logic import parse_instance
+    >>> inst = parse_instance("E('a', #1), E('a', 'b')")
+    >>> core(inst)
+    Instance({E(a, b)})
+    """
+    current = instance.copy()
+    while True:
+        folded = fold_step(current)
+        if folded is None:
+            return current
+        current = folded
+
+
+def is_core(instance: Instance) -> bool:
+    """True iff the instance equals its own core.
+
+    Checked directly: no null-containing atom can be folded away.
+    """
+    return fold_step(instance) is None
+
+
+def retracts_to(instance: Instance, candidate: Instance) -> bool:
+    """True iff ``candidate`` is the (unique) core of ``instance``.
+
+    Requires candidate ⊆ instance, a homomorphism instance → candidate,
+    and candidate being a core itself.
+    """
+    return (
+        candidate.issubset(instance)
+        and has_homomorphism(instance, candidate)
+        and is_core(candidate)
+    )

@@ -1,0 +1,150 @@
+"""Loading and saving instances as CSV directories.
+
+A practical data exchange tool needs to ingest real tables.  This module
+maps a directory of CSV files to an :class:`Instance` and back:
+
+* one file per relation, named ``<Relation>.csv``;
+* every cell is a constant, except cells of the form ``_:<int>`` which
+  denote labeled nulls (the Turtle-ish blank-node convention), e.g.
+  ``_:3`` is ``Null(3)`` -- so target instances with incomplete data
+  round-trip;
+* an optional header row is skipped when it matches the relation's
+  column names ``col1, col2, ...`` (written by :func:`dump_instance`).
+
+The reader validates arities against a schema when one is given, and
+infers relation symbols from the data otherwise.
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .core.atoms import Atom
+from .core.errors import ReproError, SchemaError
+from .core.instance import Instance
+from .core.schema import RelationSymbol, Schema
+from .core.terms import Const, Null, Value
+
+NULL_PATTERN = re.compile(r"^_:(\d+)$")
+PathLike = Union[str, Path]
+
+
+def parse_cell(text: str) -> Value:
+    """``"_:<n>"`` becomes a null; anything else a constant."""
+    matched = NULL_PATTERN.match(text.strip())
+    if matched:
+        return Null(int(matched.group(1)))
+    return Const(text.strip())
+
+
+def format_cell(value: Value) -> str:
+    """Inverse of :func:`parse_cell`."""
+    if isinstance(value, Null):
+        return f"_:{value.ident}"
+    return value.name
+
+
+def _header_for(arity: int) -> List[str]:
+    return [f"col{i + 1}" for i in range(arity)]
+
+
+def load_relation(
+    path: PathLike,
+    relation: Optional[RelationSymbol] = None,
+    name: Optional[str] = None,
+) -> List[Atom]:
+    """Read one CSV file into atoms.
+
+    The relation symbol is taken from ``relation``, or built from
+    ``name`` (default: the file stem) and the observed column count.
+    """
+    path = Path(path)
+    relation_name = name or (relation.name if relation else path.stem)
+    atoms: List[Atom] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        for row_number, row in enumerate(reader):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if relation is None:
+                relation = RelationSymbol(relation_name, len(row))
+            if len(row) != relation.arity:
+                raise SchemaError(
+                    f"{path.name}:{row_number + 1}: expected "
+                    f"{relation.arity} columns, got {len(row)}"
+                )
+            if row_number == 0 and [
+                cell.strip() for cell in row
+            ] == _header_for(relation.arity):
+                continue  # generated header
+            atoms.append(Atom(relation, tuple(parse_cell(cell) for cell in row)))
+    return atoms
+
+
+def load_instance(
+    directory: PathLike, schema: Optional[Schema] = None
+) -> Instance:
+    """Read every ``*.csv`` in a directory into one instance.
+
+    With a schema, file stems must name schema relations and arities are
+    validated; without one, relations are inferred per file.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ReproError(f"{directory} is not a directory")
+    instance = Instance()
+    found = sorted(directory.glob("*.csv"))
+    if not found:
+        raise ReproError(f"no .csv files in {directory}")
+    for path in found:
+        relation: Optional[RelationSymbol] = None
+        if schema is not None:
+            relation = schema.get(path.stem)
+            if relation is None:
+                raise SchemaError(
+                    f"{path.name}: relation {path.stem!r} is not in the schema"
+                )
+        instance.add_all(load_relation(path, relation))
+    return instance
+
+
+def dump_instance(
+    instance: Instance,
+    directory: PathLike,
+    *,
+    header: bool = True,
+) -> List[Path]:
+    """Write an instance as one CSV per relation; returns written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name in instance.relation_names():
+        atoms = sorted(instance.atoms_of(name))
+        path = directory / f"{name}.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            if header and atoms:
+                writer.writerow(_header_for(atoms[0].relation.arity))
+            for atom in atoms:
+                writer.writerow([format_cell(value) for value in atom.args])
+        written.append(path)
+    return written
+
+
+def roundtrip_safe(instance: Instance) -> bool:
+    """True if every constant survives the CSV round trip unchanged.
+
+    Constants whose name *looks like* a null literal (``_:3``) or that
+    carry leading/trailing whitespace would be re-read differently;
+    :func:`dump_instance` callers can check this first.
+    """
+    for value in instance.active_domain():
+        if isinstance(value, Const):
+            if NULL_PATTERN.match(value.name):
+                return False
+            if value.name != value.name.strip():
+                return False
+    return True

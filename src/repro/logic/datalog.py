@@ -1,0 +1,234 @@
+"""Positive datalog: programs, semi-naive evaluation, certain answers.
+
+Theorem 7.6 of the paper is stated for the class of *unions of
+conjunctive queries* understood as **potentially infinite** disjunctions
+-- "which in particular, comprises the class of datalog queries".  This
+module makes that concrete: a positive datalog program is evaluated on a
+CWA-solution by naive/semi-naive fixpoint, and since datalog queries are
+preserved under homomorphisms, Lemma 7.7 applies verbatim:
+
+    certain□(P, S) = certain◇(P, S) = P(T)↓   for any CWA-solution T,
+
+where ``P(T)↓`` keeps the null-free tuples of the goal predicate.
+
+Syntax (via :func:`parse_program`)::
+
+    reach(x)    :- start(x).
+    reach(y)    :- reach(x), edge(x, y).
+
+Predicates that appear in rule heads are intensional (IDB); the others
+are extensional (EDB) and are read from the instance.  Only positive
+bodies are supported (no negation -- exactly the fragment the theorem
+covers).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom, Substitution
+from ..core.errors import ParseError, UnsupportedQueryError
+from ..core.instance import Instance
+from ..core.terms import Value, Variable
+from .matching import match
+from .parser import _Parser
+
+
+class Rule:
+    """A datalog rule ``head :- body``.
+
+    The head must be a single atom; every head variable must occur in
+    the body (safety).
+    """
+
+    def __init__(self, head: Atom, body: Sequence[Atom]):
+        self.head = head
+        self.body: Tuple[Atom, ...] = tuple(body)
+        if not self.body:
+            raise UnsupportedQueryError(
+                f"facts are read from the instance; rule {head!r} has no body"
+            )
+        body_variables: Set[Variable] = set()
+        for atom in self.body:
+            body_variables |= atom.variables
+        unsafe = self.head.variables - body_variables
+        if unsafe:
+            name = sorted(unsafe, key=lambda v: v.name)[0]
+            raise UnsupportedQueryError(
+                f"unsafe rule: head variable {name} not bound in the body"
+            )
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(atom) for atom in self.body)
+        return f"{self.head!r} :- {body}"
+
+
+class DatalogProgram:
+    """A positive datalog program with a designated goal predicate."""
+
+    def __init__(self, rules: Sequence[Rule], goal: str):
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self.goal = goal
+        self.idb: FrozenSet[str] = frozenset(
+            rule.head.relation.name for rule in self.rules
+        )
+        if goal not in self.idb and not any(
+            atom.relation.name == goal
+            for rule in self.rules
+            for atom in rule.body
+        ):
+            raise UnsupportedQueryError(
+                f"goal predicate {goal!r} does not occur in the program"
+            )
+        goal_arities = {
+            rule.head.relation.arity
+            for rule in self.rules
+            if rule.head.relation.name == goal
+        }
+        self.goal_arity = goal_arities.pop() if goal_arities else next(
+            atom.relation.arity
+            for rule in self.rules
+            for atom in rule.body
+            if atom.relation.name == goal
+        )
+
+    @property
+    def is_recursive(self) -> bool:
+        """True if some IDB predicate (transitively) feeds itself."""
+        edges: Dict[str, Set[str]] = {}
+        for rule in self.rules:
+            head = rule.head.relation.name
+            for atom in rule.body:
+                if atom.relation.name in self.idb:
+                    edges.setdefault(head, set()).add(atom.relation.name)
+
+        def reaches(start: str, goal: str, seen: Set[str]) -> bool:
+            if start == goal and seen:
+                return True
+            for successor in edges.get(start, ()):
+                if successor == goal:
+                    return True
+                if successor not in seen:
+                    seen.add(successor)
+                    if reaches(successor, goal, seen):
+                        return True
+            return False
+
+        return any(reaches(name, name, set()) for name in self.idb)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, instance: Instance) -> Instance:
+        """The least fixpoint: EDB facts plus all derivable IDB facts.
+
+        Semi-naive: per round, only matches touching the previous
+        round's delta are completed.  Nulls are ordinary values (naive
+        evaluation), as Lemma 7.7 requires.
+        """
+        database = instance.copy()
+        delta: List[Atom] = list(database)
+        while delta:
+            new_delta: List[Atom] = []
+            for rule in self.rules:
+                for derived in self._fire(rule, database, delta):
+                    if database.add(derived):
+                        new_delta.append(derived)
+            delta = new_delta
+        return database
+
+    def _fire(
+        self, rule: Rule, database: Instance, delta: Sequence[Atom]
+    ) -> Iterable[Atom]:
+        seen: Set[Tuple[Value, ...]] = set()
+        variables = sorted(
+            {v for atom in rule.body for v in atom.variables},
+            key=lambda v: v.name,
+        )
+        for seed_index, pattern in enumerate(rule.body):
+            rest = rule.body[:seed_index] + rule.body[seed_index + 1 :]
+            for fact in delta:
+                bound = _unify(pattern, fact)
+                if bound is None:
+                    continue
+                for completed in match(
+                    rest, database, initial=Substitution(bound)
+                ):
+                    key = completed.as_tuple(variables)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield completed.apply(rule.head)
+
+    def answers(self, instance: Instance) -> FrozenSet[Tuple[Value, ...]]:
+        """Goal tuples over the least fixpoint (naive: nulls included)."""
+        fixpoint = self.evaluate(instance)
+        return frozenset(
+            atom.args for atom in fixpoint.atoms_of(self.goal)
+        )
+
+    def certain_part(self, instance: Instance) -> FrozenSet[Tuple[Value, ...]]:
+        """``P(I)↓``: the null-free goal tuples."""
+        return frozenset(
+            answer
+            for answer in self.answers(instance)
+            if all(value.is_constant for value in answer)
+        )
+
+    def __repr__(self) -> str:
+        rules = "\n".join(repr(rule) for rule in self.rules)
+        return f"-- goal: {self.goal}\n{rules}"
+
+
+def _unify(pattern: Atom, fact: Atom) -> Optional[Dict[Variable, Value]]:
+    if pattern.relation != fact.relation:
+        return None
+    bound: Dict[Variable, Value] = {}
+    for pattern_arg, fact_arg in zip(pattern.args, fact.args):
+        if isinstance(pattern_arg, Value):
+            if pattern_arg != fact_arg:
+                return None
+        else:
+            known = bound.get(pattern_arg)
+            if known is None:
+                bound[pattern_arg] = fact_arg
+            elif known != fact_arg:
+                return None
+    return bound
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse one rule, e.g. ``"reach(y) :- reach(x), edge(x, y)"``."""
+    parser = _Parser(text)
+    head = parser.parse_atom()
+    parser.expect("RULE")
+    body = [parser.parse_atom()]
+    while parser.accept("COMMA") or parser.accept("AND"):
+        body.append(parser.parse_atom())
+    parser.accept("DOT")
+    parser.require_end()
+    return Rule(head, body)
+
+
+def parse_program(text: str, goal: str) -> DatalogProgram:
+    """Parse a program: one rule per line (or '.'-terminated), comments
+    with ``%`` or ``#``.
+
+    >>> program = parse_program('''
+    ...     reach(x) :- start(x).
+    ...     reach(y) :- reach(x), edge(x, y).
+    ... ''', goal="reach")
+    >>> program.is_recursive
+    True
+    """
+    rules: List[Rule] = []
+    for raw_line in re.split(r"[\n]+", text):
+        line = re.split(r"[%#]", raw_line, 1)[0].strip()
+        if not line:
+            continue
+        rules.append(parse_rule(line))
+    if not rules:
+        raise ParseError("a datalog program needs at least one rule", text)
+    return DatalogProgram(rules, goal)

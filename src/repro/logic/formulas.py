@@ -1,0 +1,376 @@
+"""First-order formula AST over a relational vocabulary.
+
+The paper uses first-order dependencies and first-order queries; Section 7
+in particular evaluates arbitrary FO queries under the four CWA semantics.
+This module defines the abstract syntax.  Evaluation (active-domain
+semantics, as footnote 2 of the paper requires for s-t-tgd premises) lives
+in :mod:`repro.logic.evaluation`.
+
+All formula classes are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Mapping, Tuple
+
+from ..core.atoms import Atom
+from ..core.terms import Term, Value, Variable
+
+
+class Formula:
+    """Base class for first-order formulas."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        raise NotImplementedError
+
+    def constants(self) -> FrozenSet[Value]:
+        """All constants (and nulls, if any) mentioned by the formula."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Formula":
+        """Apply a substitution to free occurrences of variables."""
+        raise NotImplementedError
+
+    # Connective helpers so formulas compose fluently.
+    def __and__(self, other: "Formula") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Or":
+        return Or((Not(self), other))
+
+
+class Truth(Formula):
+    """The always-true formula."""
+
+    __slots__ = ()
+
+    def free_variables(self):
+        return frozenset()
+
+    def constants(self):
+        return frozenset()
+
+    def substitute(self, mapping):
+        return self
+
+    def __eq__(self, other):
+        return isinstance(other, Truth)
+
+    def __hash__(self):
+        return hash("Truth")
+
+    def __repr__(self):
+        return "⊤"
+
+
+class Falsity(Formula):
+    """The always-false formula."""
+
+    __slots__ = ()
+
+    def free_variables(self):
+        return frozenset()
+
+    def constants(self):
+        return frozenset()
+
+    def substitute(self, mapping):
+        return self
+
+    def __eq__(self, other):
+        return isinstance(other, Falsity)
+
+    def __hash__(self):
+        return hash("Falsity")
+
+    def __repr__(self):
+        return "⊥"
+
+
+class RelationalAtom(Formula):
+    """An atomic formula ``R(t1, ..., tr)``."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: Atom):
+        self.atom = atom
+
+    def free_variables(self):
+        return self.atom.variables
+
+    def constants(self):
+        return frozenset(self.atom.values)
+
+    def substitute(self, mapping):
+        return RelationalAtom(self.atom.substitute(mapping))
+
+    def __eq__(self, other):
+        return isinstance(other, RelationalAtom) and self.atom == other.atom
+
+    def __hash__(self):
+        return hash(("RelationalAtom", self.atom))
+
+    def __repr__(self):
+        return repr(self.atom)
+
+
+class Equality(Formula):
+    """``t1 = t2``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Term, right: Term):
+        self.left = left
+        self.right = right
+
+    def free_variables(self):
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Variable)
+        )
+
+    def constants(self):
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Value)
+        )
+
+    def substitute(self, mapping):
+        return Equality(
+            mapping.get(self.left, self.left),
+            mapping.get(self.right, self.right),
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Equality)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash(("Equality", self.left, self.right))
+
+    def __repr__(self):
+        return f"{self.left} = {self.right}"
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: Formula):
+        self.body = body
+
+    def free_variables(self):
+        return self.body.free_variables()
+
+    def constants(self):
+        return self.body.constants()
+
+    def substitute(self, mapping):
+        return Not(self.body.substitute(mapping))
+
+    def __eq__(self, other):
+        return isinstance(other, Not) and self.body == other.body
+
+    def __hash__(self):
+        return hash(("Not", self.body))
+
+    def __repr__(self):
+        return f"¬({self.body!r})"
+
+
+class And(Formula):
+    """Conjunction of zero or more formulas (empty conjunction is true)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Formula]):
+        self.parts: Tuple[Formula, ...] = tuple(parts)
+
+    def free_variables(self):
+        out = frozenset()
+        for part in self.parts:
+            out |= part.free_variables()
+        return out
+
+    def constants(self):
+        out = frozenset()
+        for part in self.parts:
+            out |= part.constants()
+        return out
+
+    def substitute(self, mapping):
+        return And(tuple(part.substitute(mapping) for part in self.parts))
+
+    def __eq__(self, other):
+        return isinstance(other, And) and self.parts == other.parts
+
+    def __hash__(self):
+        return hash(("And", self.parts))
+
+    def __repr__(self):
+        if not self.parts:
+            return "⊤"
+        return " ∧ ".join(f"({part!r})" for part in self.parts)
+
+
+class Or(Formula):
+    """Disjunction of zero or more formulas (empty disjunction is false)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Formula]):
+        self.parts: Tuple[Formula, ...] = tuple(parts)
+
+    def free_variables(self):
+        out = frozenset()
+        for part in self.parts:
+            out |= part.free_variables()
+        return out
+
+    def constants(self):
+        out = frozenset()
+        for part in self.parts:
+            out |= part.constants()
+        return out
+
+    def substitute(self, mapping):
+        return Or(tuple(part.substitute(mapping) for part in self.parts))
+
+    def __eq__(self, other):
+        return isinstance(other, Or) and self.parts == other.parts
+
+    def __hash__(self):
+        return hash(("Or", self.parts))
+
+    def __repr__(self):
+        if not self.parts:
+            return "⊥"
+        return " ∨ ".join(f"({part!r})" for part in self.parts)
+
+
+class _Quantifier(Formula):
+    __slots__ = ("variables", "body")
+    symbol = "?"
+
+    def __init__(self, variables_: Iterable[Variable], body: Formula):
+        self.variables: Tuple[Variable, ...] = tuple(variables_)
+        self.body = body
+
+    def free_variables(self):
+        return self.body.free_variables() - frozenset(self.variables)
+
+    def constants(self):
+        return self.body.constants()
+
+    def substitute(self, mapping):
+        # Bound variables shadow the substitution.
+        shadowed = {
+            key: value
+            for key, value in mapping.items()
+            if key not in self.variables
+        }
+        return type(self)(self.variables, self.body.substitute(shadowed))
+
+    def __eq__(self, other):
+        return (
+            type(self) is type(other)
+            and self.variables == other.variables
+            and self.body == other.body
+        )
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.variables, self.body))
+
+    def __repr__(self):
+        names = ", ".join(v.name for v in self.variables)
+        return f"{self.symbol}{names}. ({self.body!r})"
+
+
+class Exists(_Quantifier):
+    """Existential quantification over one or more variables."""
+
+    __slots__ = ()
+    symbol = "∃"
+
+
+class Forall(_Quantifier):
+    """Universal quantification over one or more variables."""
+
+    __slots__ = ()
+    symbol = "∀"
+
+
+def conjunction(parts: Iterable[Formula]) -> Formula:
+    """An ``And`` flattened and simplified for the common cases."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Truth):
+            continue
+        if isinstance(part, And):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return Truth()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjunction(parts: Iterable[Formula]) -> Formula:
+    """An ``Or`` flattened and simplified for the common cases."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Falsity):
+            continue
+        if isinstance(part, Or):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return Falsity()
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def atoms_of(formula: Formula) -> Tuple[Atom, ...]:
+    """All relational atoms occurring anywhere inside ``formula``."""
+    found = []
+
+    def walk(node: Formula):
+        if isinstance(node, RelationalAtom):
+            found.append(node.atom)
+        elif isinstance(node, Not):
+            walk(node.body)
+        elif isinstance(node, (And, Or)):
+            for part in node.parts:
+                walk(part)
+        elif isinstance(node, _Quantifier):
+            walk(node.body)
+
+    walk(formula)
+    return tuple(found)
+
+
+def is_conjunction_of_atoms(formula: Formula) -> bool:
+    """True if the formula is a (possibly unary/empty) conjunction of
+    relational atoms -- the shape required of tgd/egd premises and tgd
+    conclusions in the paper."""
+    if isinstance(formula, RelationalAtom):
+        return True
+    if isinstance(formula, Truth):
+        return True
+    if isinstance(formula, And):
+        return all(isinstance(part, RelationalAtom) for part in formula.parts)
+    return False

@@ -1,0 +1,191 @@
+"""Backtracking matcher for conjunctions of relational atoms.
+
+One matcher powers the whole library:
+
+* evaluating tgd and egd premises during the chase,
+* evaluating conjunctive queries,
+* finding homomorphisms (an instance is matched as the canonical query of
+  itself, cf. Chandra-Merlin, reference [3] of the paper).
+
+The matcher enumerates all substitutions ``θ`` of the pattern variables by
+values of the instance such that every pattern atom ``A`` satisfies
+``θ(A) ∈ I`` and every inequality ``s ≠ t`` satisfies ``θ(s) ≠ θ(t)``.
+
+Strategy: at each step pick the *most constrained* remaining atom -- the
+one with the fewest candidate instance atoms given the current partial
+substitution -- using the instance's (relation, position, value) index.
+This is the classic fail-first heuristic and makes homomorphism search and
+chase premise evaluation fast on the block-structured instances the chase
+produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom, Substitution
+from ..core.instance import Instance
+from ..core.terms import Term, Value, Variable
+
+Inequality = Tuple[Term, Term]
+
+
+def _candidate_count(pattern: Atom, instance: Instance, bound: Dict[Variable, Value]) -> int:
+    """Upper bound on the number of instance atoms matching ``pattern``."""
+    best = instance.count_of(pattern.relation)
+    for position, arg in enumerate(pattern.args):
+        if isinstance(arg, Value):
+            value = arg
+        elif isinstance(arg, Variable) and arg in bound:
+            value = bound[arg]
+        else:
+            continue
+        count = instance.count_with(pattern.relation, position, value)
+        if count < best:
+            best = count
+    return best
+
+
+def _candidates(pattern: Atom, instance: Instance, bound: Dict[Variable, Value]) -> Iterable[Atom]:
+    """Instance atoms that could match ``pattern`` under ``bound``."""
+    best_key: Optional[Tuple[int, Value]] = None
+    best_count = instance.count_of(pattern.relation)
+    for position, arg in enumerate(pattern.args):
+        if isinstance(arg, Value):
+            value = arg
+        elif isinstance(arg, Variable) and arg in bound:
+            value = bound[arg]
+        else:
+            continue
+        count = instance.count_with(pattern.relation, position, value)
+        if count < best_count:
+            best_count = count
+            best_key = (position, value)
+    if best_key is None:
+        return instance.atoms_of(pattern.relation)
+    return instance.atoms_with(pattern.relation, best_key[0], best_key[1])
+
+
+def _unify(pattern: Atom, fact: Atom, bound: Dict[Variable, Value]) -> Optional[List[Tuple[Variable, Value]]]:
+    """Try to match ``pattern`` against ``fact``; return new bindings or None."""
+    new_bindings: List[Tuple[Variable, Value]] = []
+    local: Dict[Variable, Value] = {}
+    for pattern_arg, fact_arg in zip(pattern.args, fact.args):
+        if isinstance(pattern_arg, Value):
+            if pattern_arg != fact_arg:
+                return None
+        else:
+            current = bound.get(pattern_arg, local.get(pattern_arg))
+            if current is None:
+                local[pattern_arg] = fact_arg
+                new_bindings.append((pattern_arg, fact_arg))
+            elif current != fact_arg:
+                return None
+    return new_bindings
+
+
+def _resolve(term: Term, bound: Dict[Variable, Value]) -> Optional[Value]:
+    if isinstance(term, Value):
+        return term
+    return bound.get(term)
+
+
+def _inequalities_hold(
+    inequalities: Sequence[Inequality], bound: Dict[Variable, Value]
+) -> bool:
+    """True unless some inequality is *violated* by fully bound terms."""
+    for left, right in inequalities:
+        left_value = _resolve(left, bound)
+        right_value = _resolve(right, bound)
+        if left_value is not None and right_value is not None:
+            if left_value == right_value:
+                return False
+    return True
+
+
+def match(
+    patterns: Sequence[Atom],
+    instance: Instance,
+    *,
+    initial: Optional[Substitution] = None,
+    inequalities: Sequence[Inequality] = (),
+) -> Iterator[Substitution]:
+    """Enumerate all substitutions matching ``patterns`` inside ``instance``.
+
+    ``initial`` pre-binds some variables (used when chasing: the premise
+    variables are matched, then the conclusion is matched with them fixed).
+    ``inequalities`` are checked as soon as both sides become bound, so
+    they prune the search rather than filter afterwards.
+
+    Yields complete substitutions covering every variable of ``patterns``
+    (plus whatever ``initial`` already bound).
+    """
+    bound: Dict[Variable, Value] = {}
+    if initial is not None:
+        for variable, term in initial.items():
+            if not isinstance(term, Value):
+                raise TypeError(
+                    f"initial substitution must map to values, got {term!r}"
+                )
+            bound[variable] = term
+    if not _inequalities_hold(inequalities, bound):
+        return
+
+    remaining = list(patterns)
+
+    def search() -> Iterator[Dict[Variable, Value]]:
+        if not remaining:
+            yield dict(bound)
+            return
+        # Fail-first: most constrained atom next.
+        index = min(
+            range(len(remaining)),
+            key=lambda i: _candidate_count(remaining[i], instance, bound),
+        )
+        pattern = remaining.pop(index)
+        try:
+            for fact in _candidates(pattern, instance, bound):
+                new_bindings = _unify(pattern, fact, bound)
+                if new_bindings is None:
+                    continue
+                for variable, value in new_bindings:
+                    bound[variable] = value
+                if _inequalities_hold(inequalities, bound):
+                    yield from search()
+                for variable, _ in new_bindings:
+                    del bound[variable]
+        finally:
+            remaining.insert(index, pattern)
+
+    for result in search():
+        yield Substitution(result)
+
+
+def exists_match(
+    patterns: Sequence[Atom],
+    instance: Instance,
+    *,
+    initial: Optional[Substitution] = None,
+    inequalities: Sequence[Inequality] = (),
+) -> bool:
+    """True if at least one match exists (short-circuits)."""
+    for _ in match(
+        patterns, instance, initial=initial, inequalities=inequalities
+    ):
+        return True
+    return False
+
+
+def first_match(
+    patterns: Sequence[Atom],
+    instance: Instance,
+    *,
+    initial: Optional[Substitution] = None,
+    inequalities: Sequence[Inequality] = (),
+) -> Optional[Substitution]:
+    """The first match found, or None."""
+    for result in match(
+        patterns, instance, initial=initial, inequalities=inequalities
+    ):
+        return result
+    return None

@@ -1,0 +1,418 @@
+"""A small text DSL for terms, atoms, instances, formulas, and queries.
+
+The DSL keeps examples, tests and benchmarks close to the paper's notation:
+
+* **variables** are bare identifiers: ``x``, ``y1``, ``pos``;
+* **constants** are quoted (``'a'``, ``"blank"``) or numeric (``0``, ``42``);
+* **nulls** are written ``#3`` (the null with identifier 3);
+* **atoms**: ``E(x, 'a')``;
+* **tgds**: ``M(x,y) -> E(x,y)`` and
+  ``N(x,y) -> exists z1, z2 . E(x,z1) & F(x,z2)``;
+* **egds**: ``F(x,y) & F(x,z) -> y = z``;
+* **conjunctive queries**: ``Q(x) :- E(x,y), F(y,z), y != z``; disjuncts of
+  a UCQ are separated by ``;``;
+* **first-order formulas**: connectives ``&``, ``|``, ``~``, ``->``,
+  quantifiers ``exists x, y . φ`` and ``forall x . φ``, comparisons ``=``
+  and ``!=``.
+
+Dependency parsing lives in :mod:`repro.dependencies`; this module exposes
+the shared tokenizer and the formula/query/instance grammar.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.errors import ParseError
+from ..core.instance import Instance
+from ..core.schema import RelationSymbol, Schema
+from ..core.terms import Const, Null, Term, Variable
+from .formulas import (
+    Equality,
+    Exists,
+    Falsity,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelationalAtom,
+    Truth,
+    conjunction,
+    disjunction,
+)
+from .queries import ConjunctiveQuery, FirstOrderQuery, Query, UnionOfConjunctiveQueries
+
+_TOKEN_SPEC = [
+    ("WS", r"\s+"),
+    ("ARROW", r"->"),
+    ("DEFINE", r":="),
+    ("RULE", r":-"),
+    ("NEQ", r"!=|≠"),
+    ("EQ", r"="),
+    ("AND", r"&|∧"),
+    ("OR", r"∨|\|"),
+    ("NOT", r"~|¬"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("SEMI", r";"),
+    ("NULL", r"#\d+"),
+    ("NUMBER", r"\d+"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {
+    "exists": "EXISTS",
+    "forall": "FORALL",
+    "not": "NOT",
+    "and": "AND",
+    "or": "OR",
+    "true": "TRUE",
+    "false": "FALSE",
+}
+
+
+class Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens, raising :class:`ParseError` on garbage."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        matched = _TOKEN_RE.match(text, position)
+        if matched is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", text, position
+            )
+        kind = matched.lastgroup
+        lexeme = matched.group()
+        if kind != "WS":
+            if kind == "IDENT" and lexeme.lower() in _KEYWORDS:
+                kind = _KEYWORDS[lexeme.lower()]
+            tokens.append(Token(kind, lexeme, position))
+        position = matched.end()
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, text: str, schema: Optional[Schema] = None):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.schema = schema
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} ({token.text!r})",
+                self.text,
+                token.position,
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    def require_end(self) -> None:
+        token = self.peek()
+        if token.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {token.text!r}",
+                self.text,
+                token.position,
+            )
+
+    # -- terms and atoms -------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            return Const(token.text)
+        if token.kind == "STRING":
+            self.advance()
+            return Const(token.text[1:-1])
+        if token.kind == "NULL":
+            self.advance()
+            return Null(int(token.text[1:]))
+        if token.kind == "IDENT":
+            self.advance()
+            return Variable(token.text)
+        raise ParseError(
+            f"expected a term, found {token.text!r}", self.text, token.position
+        )
+
+    def relation_symbol(self, name: str, arity: int, position: int) -> RelationSymbol:
+        if self.schema is not None:
+            symbol = self.schema.get(name)
+            if symbol is None:
+                raise ParseError(
+                    f"relation {name!r} is not in the schema", self.text, position
+                )
+            if symbol.arity != arity:
+                raise ParseError(
+                    f"relation {name} has arity {symbol.arity}, used with {arity}",
+                    self.text,
+                    position,
+                )
+            return symbol
+        return RelationSymbol(name, arity)
+
+    def parse_atom(self) -> Atom:
+        name_token = self.expect("IDENT")
+        self.expect("LPAREN")
+        args: List[Term] = []
+        if self.peek().kind != "RPAREN":
+            args.append(self.parse_term())
+            while self.accept("COMMA"):
+                args.append(self.parse_term())
+        self.expect("RPAREN")
+        relation = self.relation_symbol(
+            name_token.text, len(args), name_token.position
+        )
+        return Atom(relation, args)
+
+    # -- formulas ---------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        return self.parse_implication()
+
+    def parse_implication(self) -> Formula:
+        left = self.parse_disjunction()
+        if self.accept("ARROW"):
+            right = self.parse_implication()  # right associative
+            return Or((Not(left), right))
+        return left
+
+    def parse_disjunction(self) -> Formula:
+        parts = [self.parse_conjunction()]
+        while self.accept("OR"):
+            parts.append(self.parse_conjunction())
+        return parts[0] if len(parts) == 1 else disjunction(parts)
+
+    def parse_conjunction(self) -> Formula:
+        parts = [self.parse_unary()]
+        while self.accept("AND"):
+            parts.append(self.parse_unary())
+        return parts[0] if len(parts) == 1 else conjunction(parts)
+
+    def parse_unary(self) -> Formula:
+        token = self.peek()
+        if token.kind == "NOT":
+            self.advance()
+            return Not(self.parse_unary())
+        if token.kind in ("EXISTS", "FORALL"):
+            self.advance()
+            variables = [self._quantified_variable()]
+            while self.accept("COMMA"):
+                variables.append(self._quantified_variable())
+            self.expect("DOT")
+            body = self.parse_implication()
+            cls = Exists if token.kind == "EXISTS" else Forall
+            return cls(tuple(variables), body)
+        if token.kind == "TRUE":
+            self.advance()
+            return Truth()
+        if token.kind == "FALSE":
+            self.advance()
+            return Falsity()
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self.parse_implication()
+            self.expect("RPAREN")
+            return inner
+        return self.parse_comparison_or_atom()
+
+    def _quantified_variable(self) -> Variable:
+        token = self.expect("IDENT")
+        return Variable(token.text)
+
+    def parse_comparison_or_atom(self) -> Formula:
+        # Relational atom: IDENT followed by '('.
+        token = self.peek()
+        if (
+            token.kind == "IDENT"
+            and self.tokens[self.index + 1].kind == "LPAREN"
+        ):
+            return RelationalAtom(self.parse_atom())
+        left = self.parse_term()
+        operator = self.peek()
+        if operator.kind == "EQ":
+            self.advance()
+            return Equality(left, self.parse_term())
+        if operator.kind == "NEQ":
+            self.advance()
+            return Not(Equality(left, self.parse_term()))
+        raise ParseError(
+            f"expected '=' or '!=' after term, found {operator.text!r}",
+            self.text,
+            operator.position,
+        )
+
+    # -- conjunctive query bodies -----------------------------------------
+
+    def parse_cq_body(self) -> Tuple[List[Atom], List[Tuple[Term, Term]]]:
+        """A comma-separated list of atoms and inequalities/equalities."""
+        atoms: List[Atom] = []
+        inequalities: List[Tuple[Term, Term]] = []
+        while True:
+            token = self.peek()
+            if (
+                token.kind == "IDENT"
+                and self.tokens[self.index + 1].kind == "LPAREN"
+            ):
+                atoms.append(self.parse_atom())
+            else:
+                left = self.parse_term()
+                operator = self.advance()
+                if operator.kind == "NEQ":
+                    inequalities.append((left, self.parse_term()))
+                else:
+                    raise ParseError(
+                        "conjunctive query bodies allow atoms and '!=' only",
+                        self.text,
+                        operator.position,
+                    )
+            if not self.accept("COMMA") and not self.accept("AND"):
+                break
+        return atoms, inequalities
+
+
+def parse_formula(text: str, schema: Optional[Schema] = None) -> Formula:
+    """Parse an FO formula, e.g. ``"forall x. P(x) -> exists y. E(x,y)"``."""
+    parser = _Parser(text, schema)
+    formula = parser.parse_formula()
+    parser.require_end()
+    return formula
+
+
+def parse_atom(text: str, schema: Optional[Schema] = None) -> Atom:
+    """Parse a single atom, e.g. ``"E(x, 'a')"``."""
+    parser = _Parser(text, schema)
+    result = parser.parse_atom()
+    parser.require_end()
+    return result
+
+
+def parse_instance(text: str, schema: Optional[Schema] = None) -> Instance:
+    """Parse a ground instance.
+
+    Atoms are separated by commas, semicolons or newlines:
+
+    >>> inst = parse_instance("M('a','b'), N('a','b'), N('a','c')")
+    >>> len(inst)
+    3
+    """
+    instance = Instance()
+    normalized = re.sub(r"[\n;]+", ",", text.strip())
+    normalized = re.sub(r"(,\s*)+", ", ", normalized).strip(", \t")
+    if not normalized:
+        return instance
+    parser = _Parser(normalized, schema)
+    while True:
+        item = parser.parse_atom()
+        if not item.is_ground:
+            bad = sorted(item.variables, key=lambda v: v.name)[0]
+            raise ParseError(
+                f"instance atoms must be ground; {bad.name!r} is a variable "
+                "(quote constants, e.g. 'a')",
+                text,
+            )
+        instance.add(item)
+        if parser.accept("COMMA"):
+            if parser.at_end():  # tolerate a trailing comma
+                break
+            continue
+        parser.require_end()
+        break
+    return instance
+
+
+def parse_query(text: str, schema: Optional[Schema] = None) -> Query:
+    """Parse a query.
+
+    Three forms are accepted:
+
+    * a CQ (with optional inequalities): ``"Q(x) :- E(x,y), y != x"``,
+    * a UCQ, disjuncts separated by ``;``:
+      ``"Q(x) :- E(x,y) ; Q(x) :- F(x,y)"``,
+    * an FO query: ``"Q(x) := P(x) & ~exists y. E(x,y)"``.
+    """
+    pieces = [piece.strip() for piece in text.split(";") if piece.strip()]
+    if not pieces:
+        raise ParseError("empty query", text)
+    if ":=" in pieces[0]:
+        if len(pieces) != 1:
+            raise ParseError("FO queries cannot be unioned with ';'", text)
+        return _parse_fo_query(pieces[0], schema)
+    disjuncts = [_parse_cq(piece, schema) for piece in pieces]
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    return UnionOfConjunctiveQueries(disjuncts)
+
+
+def _parse_head(parser: _Parser) -> Tuple[str, List[Variable]]:
+    name_token = parser.expect("IDENT")
+    parser.expect("LPAREN")
+    head: List[Variable] = []
+    if parser.peek().kind != "RPAREN":
+        token = parser.expect("IDENT")
+        head.append(Variable(token.text))
+        while parser.accept("COMMA"):
+            token = parser.expect("IDENT")
+            head.append(Variable(token.text))
+    parser.expect("RPAREN")
+    return name_token.text, head
+
+
+def _parse_cq(text: str, schema: Optional[Schema]) -> ConjunctiveQuery:
+    parser = _Parser(text, schema)
+    _, head = _parse_head(parser)
+    parser.expect("RULE")
+    atoms, inequalities = parser.parse_cq_body()
+    parser.require_end()
+    return ConjunctiveQuery(head, atoms, inequalities)
+
+
+def _parse_fo_query(text: str, schema: Optional[Schema]) -> FirstOrderQuery:
+    parser = _Parser(text, schema)
+    _, head = _parse_head(parser)
+    parser.expect("DEFINE")
+    formula = parser.parse_formula()
+    parser.require_end()
+    return FirstOrderQuery(head, formula)

@@ -1,0 +1,228 @@
+"""PTIME-hardness gadgets (Propositions 6.6 and 7.8).
+
+Both propositions assert PTIME-hardness (under logspace reductions) of
+problems our library solves in polynomial time:
+
+* Proposition 6.6: Existence-of-CWA-Solutions(D) for some weakly acyclic
+  D;
+* Proposition 7.8: the four answer semantics for some setting with full
+  target tgds only and a conjunctive query.
+
+The canonical PTIME-complete problem we reduce from is **path systems
+accessibility** (Cook's problem P; equivalently, monotone circuit
+value): given axioms ``A ⊆ N`` and rules ``(x, y, z)`` ("x is derivable
+from y and z"), decide whether a goal node is derivable.
+
+Reductions:
+
+* derivability is computed by a single full target tgd
+  ``Deriv(y) ∧ Deriv(z) ∧ Rule'(x,y,z) → Deriv(x)`` -- the chase *is* the
+  fixpoint computation;
+* for Proposition 7.8 the query ``Q() :- Goal'(g), Deriv(g)`` is true
+  (under all four semantics -- the chase produces no nulls) iff the goal
+  is derivable;
+* for Proposition 6.6 an egd ``Deriv(g) ∧ Goal'(g) ∧ Zero(u) ∧ One(w) →
+  u = w`` (with distinct constants 0, 1 in Zero/One) makes the chase
+  fail iff the goal is derivable, so a CWA-solution exists iff the goal
+  is *not* derivable.
+
+A monotone circuit evaluator plus a circuit-to-path-system compiler are
+included so benchmarks can scale inputs naturally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Instance
+from ..core.schema import Schema
+from ..core.terms import Const
+from ..exchange.setting import DataExchangeSetting
+from ..logic.parser import parse_query
+from ..logic.queries import Query
+
+
+class PathSystem:
+    """A path system: nodes, axioms, rules (x from y and z), one goal."""
+
+    def __init__(
+        self,
+        axioms: Iterable[str],
+        rules: Iterable[Tuple[str, str, str]],
+        goal: str,
+    ):
+        self.axioms: Tuple[str, ...] = tuple(dict.fromkeys(axioms))
+        self.rules: Tuple[Tuple[str, str, str], ...] = tuple(rules)
+        self.goal = goal
+
+    def derivable(self) -> Set[str]:
+        """The least fixpoint of the rules over the axioms."""
+        known: Set[str] = set(self.axioms)
+        changed = True
+        while changed:
+            changed = False
+            for node, left, right in self.rules:
+                if node not in known and left in known and right in known:
+                    known.add(node)
+                    changed = True
+        return known
+
+    @property
+    def goal_derivable(self) -> bool:
+        return self.goal in self.derivable()
+
+
+class MonotoneCircuit:
+    """A monotone Boolean circuit: inputs and AND/OR gates.
+
+    ``gates`` maps a gate name to ``("and" | "or", left, right)``;
+    ``inputs`` maps input names to Boolean values.
+    """
+
+    def __init__(
+        self,
+        inputs: Dict[str, bool],
+        gates: Dict[str, Tuple[str, str, str]],
+        output: str,
+    ):
+        self.inputs = dict(inputs)
+        self.gates = dict(gates)
+        self.output = output
+
+    def evaluate(self) -> bool:
+        """Evaluate the circuit bottom-up (gates may be listed in any
+        topological-compatible order; cycles raise)."""
+        values: Dict[str, bool] = dict(self.inputs)
+
+        def value_of(name: str, seen: Tuple[str, ...] = ()) -> bool:
+            if name in values:
+                return values[name]
+            if name in seen:
+                raise ValueError(f"cycle through gate {name!r}")
+            kind, left, right = self.gates[name]
+            lv = value_of(left, seen + (name,))
+            rv = value_of(right, seen + (name,))
+            result = (lv and rv) if kind == "and" else (lv or rv)
+            values[name] = result
+            return result
+
+        return value_of(self.output)
+
+    def to_path_system(self) -> PathSystem:
+        """Compile to a path system: axioms are the true inputs; an AND
+        gate is one rule; an OR gate is two rules (one per operand,
+        using the operand twice)."""
+        axioms = [name for name, value in self.inputs.items() if value]
+        rules: List[Tuple[str, str, str]] = []
+        for name, (kind, left, right) in self.gates.items():
+            if kind == "and":
+                rules.append((name, left, right))
+            else:
+                rules.append((name, left, left))
+                rules.append((name, right, right))
+        return PathSystem(axioms, rules, self.output)
+
+
+def random_circuit(
+    inputs: int, gates: int, seed: int = 0, true_fraction: float = 0.5
+) -> MonotoneCircuit:
+    """A random layered monotone circuit for scaling benchmarks."""
+    rng = random.Random(seed)
+    input_values = {
+        f"in{i}": rng.random() < true_fraction for i in range(inputs)
+    }
+    names = list(input_values)
+    gate_table: Dict[str, Tuple[str, str, str]] = {}
+    for index in range(gates):
+        name = f"g{index}"
+        kind = rng.choice(("and", "or"))
+        left, right = rng.choice(names), rng.choice(names)
+        gate_table[name] = (kind, left, right)
+        names.append(name)
+    return MonotoneCircuit(input_values, gate_table, names[-1])
+
+
+# ----------------------------------------------------------------------
+# Settings
+# ----------------------------------------------------------------------
+
+
+def derivability_setting() -> DataExchangeSetting:
+    """Full-tgds-only setting computing path-system derivability
+    (Proposition 7.8's hardness carrier; Table 1, row 4)."""
+    sigma = Schema.of(Axiom=1, Rule=3, Goal=1)
+    tau = Schema.of(Deriv=1, RuleT=3, GoalT=1)
+    st = [
+        "Axiom(x) -> Deriv(x)",
+        "Rule(x, y, z) -> RuleT(x, y, z)",
+        "Goal(x) -> GoalT(x)",
+    ]
+    tdeps = ["Deriv(y) & Deriv(z) & RuleT(x, y, z) -> Deriv(x)"]
+    return DataExchangeSetting.from_strings(sigma, tau, st, tdeps)
+
+
+def existence_hardness_setting() -> DataExchangeSetting:
+    """Weakly acyclic setting for Proposition 6.6: the chase fails (no
+    CWA-solution exists) iff the goal is derivable."""
+    sigma = Schema.of(Axiom=1, Rule=3, Goal=1, Bit=1)
+    tau = Schema.of(Deriv=1, RuleT=3, GoalT=1, Zero=1, One=1)
+    st = [
+        "Axiom(x) -> Deriv(x)",
+        "Rule(x, y, z) -> RuleT(x, y, z)",
+        "Goal(x) -> GoalT(x)",
+        "Bit(b) -> Zero('0') & One('1')",
+    ]
+    tdeps = [
+        "Deriv(y) & Deriv(z) & RuleT(x, y, z) -> Deriv(x)",
+        "Deriv(g) & GoalT(g) & Zero(u) & One(w) -> u = w",
+    ]
+    return DataExchangeSetting.from_strings(sigma, tau, st, tdeps)
+
+
+def encode_path_system(system: PathSystem, with_bit: bool = False) -> Instance:
+    """The source instance for either setting."""
+    arities = {"Axiom": 1, "Rule": 3, "Goal": 1}
+    if with_bit:
+        arities["Bit"] = 1
+    sigma = Schema.from_mapping(arities)
+    source = Instance()
+    for axiom in system.axioms:
+        source.add(Atom(sigma["Axiom"], (Const(axiom),)))
+    for node, left, right in system.rules:
+        source.add(
+            Atom(sigma["Rule"], (Const(node), Const(left), Const(right)))
+        )
+    source.add(Atom(sigma["Goal"], (Const(system.goal),)))
+    if with_bit:
+        source.add(Atom(sigma["Bit"], (Const("0"),)))
+    return source
+
+
+def goal_query() -> Query:
+    """``Q() :- GoalT(g), Deriv(g)`` -- Proposition 7.8's query."""
+    return parse_query("Q() :- GoalT(g), Deriv(g)")
+
+
+def decide_derivable_via_certain_answers(system: PathSystem) -> bool:
+    """Goal derivable ⟺ the certain answer of Q is true.
+
+    The setting has full tgds only (no nulls anywhere), so by
+    Theorem 7.1 / Lemma 7.7 all four semantics coincide with the naive
+    evaluation on the chase result.
+    """
+    from ..answering.naive import ucq_certain_answers
+
+    setting = derivability_setting()
+    source = encode_path_system(system)
+    return bool(ucq_certain_answers(setting, source, goal_query()))
+
+
+def decide_derivable_via_existence(system: PathSystem) -> bool:
+    """Goal derivable ⟺ *no* CWA-solution exists (Proposition 6.6)."""
+    from ..exchange.solve import existence_of_cwa_solutions
+
+    setting = existence_hardness_setting()
+    source = encode_path_system(system, with_bit=True)
+    return not existence_of_cwa_solutions(setting, source)

@@ -1,0 +1,169 @@
+"""The Kolaitis-Panttaja-Tan setting ``D_emb`` and Example 6.1.
+
+``D_emb`` encodes the embedding problem for finite semigroups: a source
+instance encodes a partial binary function p, and a *solution* exists iff
+p extends to a finite total associative function.  Kolaitis et al. use it
+to prove Existence-of-Solutions undecidable; the paper's Example 6.1
+shows the same reduction does **not** work for CWA-solutions: the source
+``S = {R(0,1,1)}`` has solutions (addition modulo k+2, for any k) but *no*
+CWA-solution -- any finite candidate T would contain a maximal chain
+``R'(0,1,v₀), R'(v₀,1,v₁), ..., R'(v_{k-1},1,v_k)`` that d_total closes
+into a cycle, and no cycle maps homomorphically into the acyclic chain of
+``Z_{k+2}`` -- contradicting universality.
+
+This module provides the setting, encodings of partial functions, the
+modular-addition solutions, and the chain argument as an executable
+refutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Instance
+from ..core.schema import RelationSymbol, Schema
+from ..core.terms import Const, Value
+from ..exchange.setting import DataExchangeSetting
+from ..homomorphism.search import find_homomorphism
+
+SOURCE_RELATION = "R"
+TARGET_RELATION = "Rt"
+
+
+def d_emb_setting() -> DataExchangeSetting:
+    """The setting of Example 6.1 (from [11]).
+
+    * one copy s-t-tgd ``R(x,y,z) → R'(x,y,z)``,
+    * ``d_func``:  R'(x,y,z₁) ∧ R'(x,y,z₂) → z₁ = z₂,
+    * ``d_assoc``: R'(x,y,u) ∧ R'(y,z,v) ∧ R'(u,z,w) → R'(x,v,w),
+    * ``d_total``: R'(x₁,x₂,x₃) ∧ R'(y₁,y₂,y₃) → ∃z R'(x_i, y_j, z)
+      for every i, j ∈ {1,2,3} (nine tgds, one per conjunct of the
+      paper's big conjunction).
+    """
+    sigma = Schema.of(**{SOURCE_RELATION: 3})
+    tau = Schema.of(**{TARGET_RELATION: 3})
+    st = [f"{SOURCE_RELATION}(x, y, z) -> {TARGET_RELATION}(x, y, z)"]
+    tdeps = [
+        f"{TARGET_RELATION}(x, y, z1) & {TARGET_RELATION}(x, y, z2) -> z1 = z2",
+        f"{TARGET_RELATION}(x, y, u) & {TARGET_RELATION}(y, z, v) & "
+        f"{TARGET_RELATION}(u, z, w) -> {TARGET_RELATION}(x, v, w)",
+    ]
+    for i in range(1, 4):
+        for j in range(1, 4):
+            tdeps.append(
+                f"{TARGET_RELATION}(x1, x2, x3) & {TARGET_RELATION}(y1, y2, y3) "
+                f"-> exists z . {TARGET_RELATION}(x{i}, y{j}, z)"
+            )
+    return DataExchangeSetting.from_strings(sigma, tau, st, tdeps)
+
+
+def encode_partial_function(graph: Dict[Tuple[str, str], str]) -> Instance:
+    """``S = {R(x, y, z) | p(x, y) = z}`` for a partial function p."""
+    relation = RelationSymbol(SOURCE_RELATION, 3)
+    source = Instance()
+    for (left, right), result in sorted(graph.items()):
+        source.add(
+            Atom(relation, (Const(left), Const(right), Const(result)))
+        )
+    return source
+
+
+def example_6_1_source() -> Instance:
+    """``S = {R(0, 1, 1)}``."""
+    return encode_partial_function({("0", "1"): "1"})
+
+
+def modular_addition_solution(k: int) -> Instance:
+    """``T' = {R'(a,b,c) | a + b = c mod (k+2)}`` -- a finite solution
+    for Example 6.1's source, for every k ≥ 0."""
+    modulus = k + 2
+    relation = RelationSymbol(TARGET_RELATION, 3)
+    target = Instance()
+    for a in range(modulus):
+        for b in range(modulus):
+            target.add(
+                Atom(
+                    relation,
+                    (Const(a), Const(b), Const((a + b) % modulus)),
+                )
+            )
+    return target
+
+
+def successor_chain(target: Instance) -> List[Value]:
+    """The maximal chain ``v₀, v₁, ...`` with ``R'(0,1,v₀)`` and
+    ``R'(v_{i-1}, 1, v_i)``, pairwise distinct (Example 6.1's argument).
+
+    Stops at the first repetition; on a finite instance satisfying
+    d_total the chain always closes into a visited value.
+    """
+    one = Const("1")
+    successor: Dict[Value, Value] = {}
+    for atom in target.atoms_of(TARGET_RELATION):
+        if atom.args[1] == one:
+            successor[atom.args[0]] = atom.args[2]
+    chain: List[Value] = []
+    seen: Set[Value] = set()
+    current = successor.get(Const("0"))
+    while current is not None and current not in seen:
+        chain.append(current)
+        seen.add(current)
+        current = successor.get(current)
+    return chain
+
+
+def refute_cwa_solution(target: Instance) -> Optional[str]:
+    """Execute Example 6.1's contradiction on a candidate CWA-solution.
+
+    Given any finite solution T for ``S = {R(0,1,1)}`` under D_emb,
+    returns a human-readable explanation of why T cannot be a
+    CWA-solution: its successor chain (forced to close into a cycle by
+    d_total) admits no homomorphism into the strictly longer acyclic
+    chain of the modular solution ``Z_{k+2}``.  Returns None only if the
+    argument unexpectedly fails (which Theorem 4.8 says cannot happen for
+    actual solutions).
+    """
+    chain = successor_chain(target)
+    k = len(chain) - 1
+    if k < 0:
+        return (
+            "T lacks R'(0,1,v) entirely, so it violates d_total "
+            "and is not even a solution"
+        )
+    comparison = modular_addition_solution(k)
+    if find_homomorphism(target, comparison) is None:
+        return (
+            f"T's successor chain has length {k + 1} and closes into a "
+            f"cycle; no homomorphism into the modular solution Z_{k + 2} "
+            "exists, so T is not universal and hence no CWA-solution "
+            "(Theorem 4.8)"
+        )
+    return None
+
+
+def is_associative_total(table: Dict[Tuple[str, str], str], domain: Sequence[str]) -> bool:
+    """Is ``table`` a total associative function on ``domain``?
+
+    The brute-force check behind the embedding problem; used by tests to
+    confirm the modular solutions really encode semigroups.
+    """
+    for x in domain:
+        for y in domain:
+            if (x, y) not in table:
+                return False
+    for x in domain:
+        for y in domain:
+            for z in domain:
+                if table[(table[(x, y)], z)] != table[(x, table[(y, z)])]:
+                    return False
+    return True
+
+
+def instance_as_table(target: Instance) -> Dict[Tuple[str, str], str]:
+    """Read a target instance back as a function table (names only)."""
+    table: Dict[Tuple[str, str], str] = {}
+    for atom in target.atoms_of(TARGET_RELATION):
+        left, right, result = atom.args
+        table[(str(left), str(right))] = str(result)
+    return table

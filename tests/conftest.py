@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's settings and instances."""
+
+import pytest
+
+from repro.generators.settings_library import (
+    egd_only_setting,
+    example_2_1_setting,
+    example_2_1_solutions,
+    example_2_1_source,
+    example_5_3_setting,
+    example_5_3_source,
+    full_tgd_setting,
+)
+
+
+@pytest.fixture
+def setting_2_1():
+    return example_2_1_setting()
+
+
+@pytest.fixture
+def source_2_1():
+    return example_2_1_source()
+
+
+@pytest.fixture
+def solutions_2_1():
+    return example_2_1_solutions()
+
+
+@pytest.fixture
+def setting_5_3():
+    return example_5_3_setting()
+
+
+@pytest.fixture
+def source_5_3():
+    return example_5_3_source(1)
+
+
+@pytest.fixture
+def setting_egd_only():
+    return egd_only_setting()
+
+
+@pytest.fixture
+def setting_full_tgd():
+    return full_tgd_setting()

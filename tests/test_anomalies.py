@@ -1,0 +1,95 @@
+"""Section 3: the anomalies of the classical certain answers semantics,
+and how the CWA semantics repairs them."""
+
+import pytest
+
+from repro.answering import all_four_semantics, certain_answers
+from repro.answering.valuations import certain_on
+from repro.core import Const, Schema
+from repro.cwa import core_solution
+from repro.exchange import copy_instance, copying_setting
+from repro.generators import section_3_source
+from repro.logic import parse_query
+
+
+SIGMA = Schema.of(E=2, P=1)
+
+
+@pytest.fixture(scope="module")
+def anomaly_setup():
+    setting = copying_setting(SIGMA)
+    source = section_3_source(cycle_length=9)
+    copied = copy_instance(source, SIGMA)
+    # The paper's query Q(x) = P'(x) ∨ ∃y∃z (P'(y) ∧ E'(y,z) ∧ ¬P'(z)).
+    query = parse_query(
+        "Q(x) := P_t(x) | exists y, z . (P_t(y) & E_t(y, z) & ~P_t(z))"
+    )
+    return setting, source, copied, query
+
+
+class TestTheAnomaly:
+    def test_naive_evaluation_returns_all_nodes(self, anomaly_setup):
+        """On the intuitively-correct solution S', Q returns all 18
+        nodes (a₄ is labeled and its successor is not, so the second
+        disjunct holds for every x)."""
+        _, _, copied, query = anomaly_setup
+        answers = query.evaluate(copied)
+        assert len(answers) == 18
+
+    def test_classical_certain_answers_lose_the_b_cycle(self, anomaly_setup):
+        """certain_D(Q, S) = {a₀..a₈}: the augmented solution that labels
+        every aᵢ with P' kills the second disjunct, so only tuples that
+        satisfy the first disjunct in *both* solutions survive.
+
+        We replay the paper's argument with the two witnessing solutions
+        (computing the intersection over literally all solutions is not
+        effective)."""
+        setting, source, copied, query = anomaly_setup
+        augmented = copied.copy()
+        p_relation = SIGMA["P"].primed()
+        for index in range(9):
+            from repro.core import Atom
+
+            augmented.add(Atom(p_relation, (Const(f"a{index}"),)))
+        assert setting.is_solution(source, augmented)
+
+        classical_certain = query.evaluate(copied) & query.evaluate(augmented)
+        assert classical_certain == frozenset(
+            {(Const(f"a{i}"),) for i in range(9)}
+        )
+
+    def test_cwa_semantics_fix_the_anomaly(self, anomaly_setup):
+        """Under the CWA, S_CWA = {S'} and Rep(S') = {S'}: all four
+        semantics return Q(S') -- all 18 nodes."""
+        setting, source, copied, query = anomaly_setup
+        expected = query.evaluate(copied)
+        results = all_four_semantics(setting, source, query)
+        for name, answers in results.items():
+            assert answers == expected, name
+
+    def test_core_of_copying_setting_is_the_copy(self, anomaly_setup):
+        setting, source, copied, _ = anomaly_setup
+        from repro.core import isomorphic
+
+        assert isomorphic(core_solution(setting, source), copied)
+
+
+class TestCertainUniversalAnomaly:
+    def test_domain_extension_keeps_u_certain_sane_here(self):
+        """The u-certain anomaly needs the D-extension (end of Section
+        3): on plain copying settings u-certain agrees with naive
+        evaluation for our query; the CWA semantics agree on BOTH
+        settings."""
+        from repro.exchange import copying_setting_with_domain
+
+        sigma = Schema.of(E=2, P=1)
+        plain = copying_setting(sigma)
+        extended = copying_setting_with_domain(sigma)
+        source = section_3_source(cycle_length=5)
+        query = parse_query("Q(x) :- P_t(x)")
+
+        plain_answers = certain_answers(plain, source, query)
+        extended_answers = certain_answers(extended, source, query)
+        assert plain_answers == extended_answers == frozenset(
+            {(Const("a4"),)}
+        )

@@ -1,0 +1,101 @@
+"""Unit tests for atoms and substitutions."""
+
+import pytest
+
+from repro.core import (
+    ArityError,
+    Atom,
+    Const,
+    Null,
+    RelationSymbol,
+    Substitution,
+    Variable,
+    atom,
+)
+
+R = RelationSymbol("R", 2)
+P = RelationSymbol("P", 1)
+
+
+class TestAtom:
+    def test_arity_checked(self):
+        with pytest.raises(ArityError):
+            Atom(R, (Const("a"),))
+
+    def test_ground_detection(self):
+        assert Atom(R, (Const("a"), Null(0))).is_ground
+        assert not Atom(R, (Const("a"), Variable("x"))).is_ground
+
+    def test_nulls_constants_variables(self):
+        mixed = Atom(R, (Const("a"), Null(0)))
+        assert mixed.constants == frozenset({Const("a")})
+        assert mixed.nulls == frozenset({Null(0)})
+        pattern = Atom(R, (Variable("x"), Const("a")))
+        assert pattern.variables == frozenset({Variable("x")})
+
+    def test_substitute_partial(self):
+        pattern = Atom(R, (Variable("x"), Variable("y")))
+        image = pattern.substitute({Variable("x"): Const("a")})
+        assert image == Atom(R, (Const("a"), Variable("y")))
+
+    def test_rename_values(self):
+        ground = Atom(R, (Null(0), Null(1)))
+        renamed = ground.rename_values({Null(0): Const("a")})
+        assert renamed == Atom(R, (Const("a"), Null(1)))
+
+    def test_equality_and_hash(self):
+        assert Atom(R, (Const("a"), Const("b"))) == Atom(R, (Const("a"), Const("b")))
+        assert len({Atom(R, (Const("a"), Const("b")))} | {Atom(R, (Const("a"), Const("b")))}) == 1
+
+    def test_atom_helper_coerces(self):
+        assert atom(R, "a", "b") == Atom(R, (Const("a"), Const("b")))
+        assert atom(P, Null(0)) == Atom(P, (Null(0),))
+
+    def test_sorting_is_deterministic(self):
+        atoms = [atom(R, "b", "a"), atom(R, "a", "b"), atom(P, "a")]
+        assert sorted(atoms) == [atom(P, "a"), atom(R, "a", "b"), atom(R, "b", "a")]
+
+    def test_repr(self):
+        assert repr(atom(R, "a", Null(1))) == "R(a, ⊥1)"
+
+
+class TestSubstitution:
+    def test_extend_is_functional(self):
+        base = Substitution()
+        extended = base.extend(Variable("x"), Const("a"))
+        assert Variable("x") not in base
+        assert extended[Variable("x")] == Const("a")
+
+    def test_extend_many(self):
+        sub = Substitution().extend_many(
+            [(Variable("x"), Const("a")), (Variable("y"), Const("b"))]
+        )
+        assert len(sub) == 2
+
+    def test_apply(self):
+        sub = Substitution({Variable("x"): Const("a"), Variable("y"): Null(0)})
+        assert sub.apply(Atom(R, (Variable("x"), Variable("y")))) == Atom(
+            R, (Const("a"), Null(0))
+        )
+
+    def test_restrict(self):
+        sub = Substitution({Variable("x"): Const("a"), Variable("y"): Const("b")})
+        restricted = sub.restrict([Variable("x")])
+        assert Variable("x") in restricted
+        assert Variable("y") not in restricted
+
+    def test_as_tuple_preserves_order(self):
+        sub = Substitution({Variable("x"): Const("a"), Variable("y"): Const("b")})
+        assert sub.as_tuple([Variable("y"), Variable("x")]) == (
+            Const("b"),
+            Const("a"),
+        )
+
+    def test_get_default(self):
+        assert Substitution().get(Variable("x")) is None
+
+    def test_equality(self):
+        left = Substitution({Variable("x"): Const("a")})
+        right = Substitution({Variable("x"): Const("a")})
+        assert left == right
+        assert hash(left) == hash(right)

@@ -1,0 +1,96 @@
+"""Tests for Gaifman blocks and blockwise core computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Atom, Const, Instance, Null, RelationSymbol, isomorphic
+from repro.homomorphism import core
+from repro.homomorphism.blocks import (
+    block_atoms,
+    block_statistics,
+    blockwise_core,
+    null_blocks,
+)
+from repro.logic import parse_instance
+
+E = RelationSymbol("E", 2)
+
+
+class TestBlocks:
+    def test_disjoint_nulls_separate_blocks(self):
+        inst = parse_instance("E('a', #1), E('b', #2)")
+        blocks = null_blocks(inst)
+        assert len(blocks) == 2
+        assert {frozenset({Null(1)}), frozenset({Null(2)})} == set(blocks)
+
+    def test_cooccurrence_merges(self):
+        inst = parse_instance("E(#1, #2), E(#2, #3), E('a', #4)")
+        blocks = null_blocks(inst)
+        assert frozenset({Null(1), Null(2), Null(3)}) in blocks
+        assert frozenset({Null(4)}) in blocks
+
+    def test_ground_instance_has_no_blocks(self):
+        assert null_blocks(parse_instance("E('a','b')")) == []
+
+    def test_block_atoms(self):
+        inst = parse_instance("E(#1, #2), E('a', 'b'), E('a', #3)")
+        blocks = null_blocks(inst)
+        first = next(b for b in blocks if Null(1) in b)
+        owned = block_atoms(inst, first)
+        assert len(owned) == 1
+
+    def test_statistics(self):
+        inst = parse_instance("E(#1, #2), E('a', #3)")
+        stats = block_statistics(inst)
+        assert stats["blocks"] == 2
+        assert stats["largest"] == 2
+
+    def test_statistics_empty(self):
+        assert block_statistics(Instance())["blocks"] == 0
+
+
+class TestBlockwiseCore:
+    def test_agrees_on_paper_example(self, setting_2_1, source_2_1):
+        canonical = setting_2_1.canonical_universal_solution(source_2_1)
+        assert isomorphic(blockwise_core(canonical), core(canonical))
+
+    def test_simple_fold(self):
+        inst = parse_instance("E('a', #1), E('a', 'b')")
+        assert blockwise_core(inst) == parse_instance("E('a', 'b')")
+
+    def test_cross_block_fold(self):
+        # #1's block folds onto #2's block (or vice versa).
+        inst = parse_instance("E('a', #1), E('a', #2), E(#2, 'b')")
+        folded = blockwise_core(inst)
+        assert len(folded) == 2
+        assert isomorphic(folded, core(inst))
+
+    def test_ground_instance_untouched(self):
+        inst = parse_instance("E('a','b'), E('b','c')")
+        assert blockwise_core(inst) == inst
+
+    def test_result_is_core(self):
+        inst = parse_instance(
+            "E('a', #1), E(#1, #2), E('a', 'b'), E('b', 'c'), E('q', #3)"
+        )
+        from repro.homomorphism import is_core
+
+        assert is_core(blockwise_core(inst))
+
+
+def small_instances():
+    values = st.one_of(
+        st.sampled_from([Const("a"), Const("b")]),
+        st.integers(min_value=0, max_value=3).map(Null),
+    )
+    return st.lists(
+        st.tuples(values, values).map(lambda pair: Atom(E, pair)),
+        max_size=7,
+    ).map(Instance)
+
+
+@given(small_instances())
+@settings(max_examples=60, deadline=None)
+def test_blockwise_core_equals_global_core(inst):
+    assert isomorphic(blockwise_core(inst), core(inst))

@@ -1,0 +1,134 @@
+"""Tests for CanSol -- Proposition 5.4's maximal CWA-solutions."""
+
+import pytest
+
+from repro.core import Instance, Schema, isomorphic
+from repro.cwa import (
+    UnsupportedSettingError,
+    cansol,
+    core_solution,
+    enumerate_cwa_solutions,
+    is_cwa_solution,
+    is_homomorphic_image_of,
+    is_maximal_cwa_solution,
+)
+from repro.exchange import DataExchangeSetting
+from repro.logic import parse_instance
+
+
+class TestEgdOnlyClass:
+    def test_cansol_exists_and_is_cwa_solution(self, setting_egd_only):
+        source = parse_instance("Emp('e1','d1'), Emp('e2','d1'), Emp('e3','d2')")
+        maximal = cansol(setting_egd_only, source)
+        assert maximal is not None
+        assert is_cwa_solution(setting_egd_only, source, maximal)
+
+    def test_egd_merges_witnesses(self, setting_egd_only):
+        # Two employees in one department share the (unknown) manager.
+        source = parse_instance("Emp('e1','d1'), Emp('e2','d1')")
+        maximal = cansol(setting_egd_only, source)
+        assert maximal.count_of("Dept") == 1
+
+    def test_cansol_is_maximal(self, setting_egd_only):
+        source = parse_instance("Emp('e1','d1'), Emp('e2','d2')")
+        maximal = cansol(setting_egd_only, source)
+        space = enumerate_cwa_solutions(setting_egd_only, source)
+        assert is_maximal_cwa_solution(setting_egd_only, source, maximal, space)
+
+    def test_every_solution_is_image_of_cansol(self, setting_egd_only):
+        source = parse_instance("Emp('e1','d1'), Emp('e2','d1')")
+        maximal = cansol(setting_egd_only, source)
+        for solution in enumerate_cwa_solutions(setting_egd_only, source):
+            assert is_homomorphic_image_of(solution, maximal)
+
+    def test_cansol_none_when_no_solution(self):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        source = parse_instance("Src('a','b'), Src('a','c')")
+        assert cansol(setting, source) is None
+
+    def test_no_target_dependencies_gives_libkin_cansol(self):
+        """For Σt = ∅, CanSol fires every justification with fresh nulls
+        -- Libkin's canonical CWA-presolution."""
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(N=2),
+            Schema.of(F=2),
+            ["N(x, y) -> exists z . F(x, z)"],
+        )
+        source = parse_instance("N('a','b'), N('a','c')")
+        maximal = cansol(setting, source)
+        # Two justifications (different ȳ-tuples) -> two F atoms.
+        assert maximal.count_of("F") == 2
+        assert len(maximal.nulls()) == 2
+
+
+class TestCanSolRandomized:
+    def test_maximality_over_random_sources(self, setting_egd_only):
+        """Proposition 5.4 over a sweep of random employee sources."""
+        from repro.generators import employee_source
+
+        for seed in range(5):
+            source = employee_source(4, 2, seed=seed)
+            maximal = cansol(setting_egd_only, source)
+            assert maximal is not None
+            assert is_cwa_solution(setting_egd_only, source, maximal)
+            space = enumerate_cwa_solutions(setting_egd_only, source)
+            assert space
+            for solution in space:
+                assert is_homomorphic_image_of(solution, maximal), seed
+
+
+class TestFullTgdClass:
+    def test_cansol_via_standard_chase(self, setting_full_tgd):
+        source = parse_instance("Edge('a','b'), Edge('b','c'), Start('a')")
+        maximal = cansol(setting_full_tgd, source)
+        assert maximal is not None
+        assert maximal.count_of("Reach") == 3
+        # No nulls anywhere: CanSol equals the core.
+        assert isomorphic(maximal, core_solution(setting_full_tgd, source))
+
+    def test_cansol_is_unique_cwa_solution_for_full_settings(
+        self, setting_full_tgd
+    ):
+        source = parse_instance("Edge('a','b'), Start('a')")
+        space = enumerate_cwa_solutions(setting_full_tgd, source)
+        assert len(space) == 1
+        assert isomorphic(space[0], cansol(setting_full_tgd, source))
+
+
+class TestUnsupportedSettings:
+    def test_example_2_1_not_supported(self, setting_2_1, source_2_1):
+        # Σt has an existential tgd: outside both classes.
+        with pytest.raises(UnsupportedSettingError):
+            cansol(setting_2_1, source_2_1)
+
+    def test_example_5_3_not_supported(self, setting_5_3, source_5_3):
+        with pytest.raises(UnsupportedSettingError):
+            cansol(setting_5_3, source_5_3)
+
+
+class TestTheorem71ViaCanSol:
+    """certain◇ = □Q(CanSol) and maybe◇ = ◇Q(CanSol) for the restricted
+    classes, cross-validated against the direct definition."""
+
+    def test_egd_only_cross_validation(self, setting_egd_only):
+        from repro.answering import answers_over_space
+        from repro.answering.valuations import certain_on, maybe_on
+        from repro.logic import parse_query
+
+        source = parse_instance("Emp('e1','d1'), Emp('e2','d1')")
+        query = parse_query("Q(d) :- Dept(d, m)")
+        space = enumerate_cwa_solutions(setting_egd_only, source)
+        maximal = cansol(setting_egd_only, source)
+        tdeps = setting_egd_only.target_dependencies
+
+        assert certain_on(query, maximal, tdeps) == answers_over_space(
+            query, space, tdeps, "potential_certain"
+        )
+        assert maybe_on(query, maximal, tdeps) == answers_over_space(
+            query, space, tdeps, "maybe"
+        )

@@ -1,0 +1,139 @@
+"""Coverage for chase plumbing: outcomes, oblivious helpers, budgets."""
+
+import pytest
+
+from repro.chase import (
+    ChaseOutcome,
+    ChaseStatus,
+    fire_all_source_justifications,
+    oblivious_chase,
+    standard_chase,
+)
+from repro.core import (
+    ChaseDivergence,
+    Instance,
+    NullFactory,
+    ReproError,
+    Schema,
+)
+from repro.dependencies import parse_dependencies
+from repro.dependencies.graph import chase_depth_bound
+from repro.exchange import DataExchangeSetting
+from repro.logic import parse_instance
+
+
+class TestChaseOutcome:
+    def test_require_success_on_success(self):
+        deps = parse_dependencies(["E(x, y) -> F(y, x)"])
+        outcome = standard_chase(parse_instance("E('a','b')"), deps)
+        assert outcome.require_success() is outcome.instance
+
+    def test_require_success_on_failure_raises(self):
+        deps = parse_dependencies(["F(x, y) & F(x, z) -> y = z"])
+        outcome = standard_chase(parse_instance("F('a','b'), F('a','c')"), deps)
+        with pytest.raises(ReproError):
+            outcome.require_success()
+
+    def test_require_success_on_divergence_raises(self):
+        deps = parse_dependencies(["E(x, y) -> exists z . E(y, z)"])
+        outcome = standard_chase(
+            parse_instance("E('a','b')"), deps, max_steps=30
+        )
+        with pytest.raises(ChaseDivergence):
+            outcome.require_success()
+
+    def test_flags(self):
+        outcome = ChaseOutcome(ChaseStatus.SUCCESS, Instance(), 0)
+        assert outcome.successful and not outcome.failed and not outcome.diverged
+
+    def test_repr(self):
+        outcome = ChaseOutcome(ChaseStatus.FAILURE, Instance(), 3, reason="x")
+        assert "failure" in repr(outcome)
+
+
+class TestFireAllSourceJustifications:
+    def test_each_justification_fires_once(self):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(N=2),
+            Schema.of(F=2),
+            ["N(x, y) -> exists z . F(x, z)"],
+        )
+        source = parse_instance("N('a','b'), N('a','c'), N('q','w')")
+        fired, table = fire_all_source_justifications(
+            source, setting.st_dependencies
+        )
+        assert fired.count_of("F") == 3
+        assert len(table) == 3
+
+    def test_fresh_nulls_are_disjoint(self):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(N=2),
+            Schema.of(F=2, G=2),
+            [
+                "N(x, y) -> exists z . F(x, z)",
+                "N(x, y) -> exists z . G(y, z)",
+            ],
+        )
+        source = parse_instance("N('a','b')")
+        fired, table = fire_all_source_justifications(
+            source, setting.st_dependencies
+        )
+        nulls = fired.nulls()
+        assert len(nulls) == 2
+
+    def test_factory_respected(self):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(N=2),
+            Schema.of(F=2),
+            ["N(x, y) -> exists z . F(x, z)"],
+        )
+        source = parse_instance("N('a','b')")
+        fired, _ = fire_all_source_justifications(
+            source, setting.st_dependencies, null_factory=NullFactory(500)
+        )
+        assert all(null.ident >= 500 for null in fired.nulls())
+
+
+class TestObliviousBudget:
+    def test_budget_respected(self):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(S0=2),
+            Schema.of(E=2),
+            ["S0(x, y) -> E(x, y)"],
+            ["E(x, y) -> exists z . E(y, z)"],
+        )
+        outcome, _ = oblivious_chase(
+            parse_instance("S0('a','b')"),
+            list(setting.all_dependencies),
+            max_steps=25,
+        )
+        assert outcome.diverged
+
+
+class TestChaseDepthBound:
+    def test_bound_positive_without_tgds(self):
+        assert chase_depth_bound([], 10) > 0
+
+    def test_bound_grows_with_domain(self):
+        deps = parse_dependencies(["E(x, y) -> exists z . F(y, z)"])
+        assert chase_depth_bound(deps, 50) >= chase_depth_bound(deps, 5)
+
+    def test_bound_is_capped(self):
+        deps = parse_dependencies(
+            [
+                "E(x, y) -> exists z . F(y, z)",
+                "F(x, y) -> exists z . G(y, z)",
+                "G(x, y) -> exists z . H(y, z)",
+            ]
+        )
+        assert chase_depth_bound(deps, 10_000) <= 50_000_000
+
+    def test_bound_suffices_for_example_2_1(self, setting_2_1, source_2_1):
+        bound = chase_depth_bound(
+            list(setting_2_1.target_dependencies),
+            len(source_2_1.active_domain()),
+        )
+        outcome = standard_chase(
+            source_2_1, list(setting_2_1.all_dependencies), max_steps=bound
+        )
+        assert outcome.successful

@@ -1,0 +1,123 @@
+"""Tests for path systems, monotone circuits, and the PTIME-hardness
+reductions (Propositions 6.6 and 7.8)."""
+
+import pytest
+
+from repro.reductions.circuit import (
+    MonotoneCircuit,
+    PathSystem,
+    decide_derivable_via_certain_answers,
+    decide_derivable_via_existence,
+    derivability_setting,
+    encode_path_system,
+    existence_hardness_setting,
+    goal_query,
+    random_circuit,
+)
+
+
+class TestPathSystem:
+    def test_axioms_derivable(self):
+        system = PathSystem(["a"], [], "a")
+        assert system.goal_derivable
+
+    def test_simple_derivation(self):
+        system = PathSystem(["a", "b"], [("c", "a", "b")], "c")
+        assert system.goal_derivable
+
+    def test_chained_derivation(self):
+        system = PathSystem(
+            ["a"], [("b", "a", "a"), ("c", "a", "b"), ("d", "c", "b")], "d"
+        )
+        assert system.goal_derivable
+
+    def test_underivable(self):
+        system = PathSystem(["a"], [("c", "a", "b")], "c")
+        assert not system.goal_derivable
+
+    def test_rules_can_be_unordered(self):
+        system = PathSystem(
+            ["a"], [("d", "c", "c"), ("c", "b", "b"), ("b", "a", "a")], "d"
+        )
+        assert system.goal_derivable
+
+
+class TestMonotoneCircuit:
+    def test_and_gate(self):
+        circuit = MonotoneCircuit(
+            {"x": True, "y": False}, {"g": ("and", "x", "y")}, "g"
+        )
+        assert not circuit.evaluate()
+
+    def test_or_gate(self):
+        circuit = MonotoneCircuit(
+            {"x": True, "y": False}, {"g": ("or", "x", "y")}, "g"
+        )
+        assert circuit.evaluate()
+
+    def test_nested(self):
+        circuit = MonotoneCircuit(
+            {"x": True, "y": False, "z": True},
+            {"g1": ("or", "x", "y"), "g2": ("and", "g1", "z")},
+            "g2",
+        )
+        assert circuit.evaluate()
+
+    def test_cycle_rejected(self):
+        circuit = MonotoneCircuit(
+            {"x": True}, {"g": ("and", "g", "x")}, "g"
+        )
+        with pytest.raises(ValueError):
+            circuit.evaluate()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_compilation_preserves_value(self, seed):
+        circuit = random_circuit(4, 12, seed=seed)
+        assert circuit.evaluate() == circuit.to_path_system().goal_derivable
+
+
+class TestProposition78:
+    """certain answers with full tgds compute derivability."""
+
+    def test_settings_shape(self):
+        setting = derivability_setting()
+        assert setting.is_full_and_egd_setting
+        assert setting.is_weakly_acyclic and setting.is_richly_acyclic
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reduction_correct(self, seed):
+        system = random_circuit(3, 8, seed=seed).to_path_system()
+        assert (
+            decide_derivable_via_certain_answers(system)
+            == system.goal_derivable
+        )
+
+    def test_all_four_semantics_agree(self):
+        from repro.answering import all_four_semantics
+
+        system = PathSystem(["a", "b"], [("c", "a", "b")], "c")
+        setting = derivability_setting()
+        source = encode_path_system(system)
+        results = all_four_semantics(setting, source, goal_query())
+        assert all(bool(v) for v in results.values())
+
+
+class TestProposition66:
+    """Existence-of-CWA-Solutions is the complement of derivability."""
+
+    def test_setting_weakly_acyclic(self):
+        assert existence_hardness_setting().is_weakly_acyclic
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reduction_correct(self, seed):
+        system = random_circuit(3, 8, seed=seed).to_path_system()
+        assert (
+            decide_derivable_via_existence(system) == system.goal_derivable
+        )
+
+    def test_agreement_of_both_reductions(self):
+        for seed in range(4):
+            system = random_circuit(4, 10, seed=seed).to_path_system()
+            assert decide_derivable_via_existence(
+                system
+            ) == decide_derivable_via_certain_answers(system)

@@ -1,0 +1,204 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import (
+    _parse_schema,
+    build_parser,
+    load_setting_text,
+    main,
+)
+from repro.core import ReproError
+
+SETTING_TEXT = """
+# Example 2.1 of the paper
+source:      M/2 N/2
+target:      E/2 F/2 G/2
+st:          M(x1,x2) -> E(x1,x2)
+st:          N(x,y) -> exists z1, z2 . E(x,z1) & F(x,z2)
+target-dep:  F(y,x) -> exists z . G(x,z)
+target-dep:  F(x,y) & F(x,z) -> y = z
+"""
+
+SOURCE_TEXT = "M('a','b'), N('a','b'), N('a','c')"
+
+
+@pytest.fixture
+def setting_file(tmp_path):
+    path = tmp_path / "setting.txt"
+    path.write_text(SETTING_TEXT, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "source.txt"
+    path.write_text(SOURCE_TEXT, encoding="utf-8")
+    return str(path)
+
+
+class TestSettingFormat:
+    def test_parse_schema(self):
+        schema = _parse_schema("M/2 N/3")
+        assert schema["M"].arity == 2 and schema["N"].arity == 3
+
+    def test_bad_schema_token(self):
+        with pytest.raises(ReproError):
+            _parse_schema("M/two")
+
+    def test_load_setting(self):
+        setting = load_setting_text(SETTING_TEXT)
+        assert len(setting.st_dependencies) == 2
+        assert len(setting.target_dependencies) == 2
+        assert setting.is_weakly_acyclic
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# hi\n\nsource: P/1\ntarget: Q/1\nst: P(x) -> Q(x)\n"
+        setting = load_setting_text(text)
+        assert len(setting.st_dependencies) == 1
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(ReproError):
+            load_setting_text("st: P(x) -> Q(x)")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ReproError):
+            load_setting_text("source: P/1\ntarget: Q/1\nbogus: nope")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ReproError):
+            load_setting_text("source P/1")
+
+
+class TestCommands:
+    def test_solve(self, setting_file, source_file, capsys):
+        code = main(["solve", setting_file, source_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "core (minimal CWA-solution)" in out
+        assert "E(a, b)" in out
+
+    def test_solve_seminaive_engine(self, setting_file, source_file, capsys):
+        code = main(
+            ["solve", setting_file, source_file, "--engine", "seminaive"]
+        )
+        assert code == 0
+        assert "core" in capsys.readouterr().out
+
+    def test_chase_narration(self, setting_file, source_file, capsys):
+        code = main(["chase", setting_file, source_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("I0 = ")
+        assert "result: success" in out
+
+    def test_certain(self, setting_file, source_file, capsys):
+        code = main(
+            ["certain", setting_file, source_file, "Q(x, y) :- E(x, y)"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "a\tb" in out
+
+    def test_certain_boolean(self, setting_file, source_file, capsys):
+        code = main(
+            [
+                "certain",
+                setting_file,
+                source_file,
+                "Q() :- F('a', u), G(u, w)",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "true"
+
+    def test_maybe_semantics(self, setting_file, source_file, capsys):
+        code = main(
+            [
+                "certain",
+                setting_file,
+                source_file,
+                "Q() :- E('a', 'q')",
+                "--semantics",
+                "maybe",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "true"
+
+    def test_check(self, setting_file, source_file, tmp_path, capsys):
+        target = tmp_path / "target.txt"
+        target.write_text(
+            "E('a','b'), F('a',#1), G(#1,#2)", encoding="utf-8"
+        )
+        code = main(["check", setting_file, source_file, str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CWA-solution     : yes" in out.replace("  ", " ") or "yes" in out
+
+    def test_check_non_solution(self, setting_file, source_file, tmp_path, capsys):
+        target = tmp_path / "target.txt"
+        target.write_text("E('a','b')", encoding="utf-8")
+        code = main(["check", setting_file, source_file, str(target)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "solution" in out
+
+    def test_analyze(self, setting_file, capsys):
+        code = main(["analyze", setting_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "weakly acyclic: yes" in out
+        assert "richly acyclic: yes" in out
+
+    def test_analyze_warns_outside_weak_acyclicity(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text(
+            "source: S/2\ntarget: E/2\nst: S(x,y) -> E(x,y)\n"
+            "target-dep: E(x,y) -> exists z . E(y,z)\n",
+            encoding="utf-8",
+        )
+        code = main(["analyze", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "undecidable" in out
+
+    def test_report(self, setting_file, source_file, capsys):
+        code = main(["report", setting_file, source_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "data exchange report" in out
+        assert "gaifman blocks" in out
+        assert "null justifications" in out
+
+    def test_report_no_solution(self, tmp_path, capsys):
+        setting = tmp_path / "key.txt"
+        setting.write_text(
+            "source: Src/2\ntarget: Tgt/2\nst: Src(x,y) -> Tgt(x,y)\n"
+            "target-dep: Tgt(x,y) & Tgt(x,z) -> y = z\n",
+            encoding="utf-8",
+        )
+        source = tmp_path / "clash.txt"
+        source.write_text("Src('a','b'), Src('a','c')", encoding="utf-8")
+        code = main(["report", str(setting), str(source)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+
+    def test_solve_from_csv_directory(self, setting_file, tmp_path, capsys):
+        from repro.io import dump_instance
+        from repro.logic import parse_instance as parse
+
+        dump_instance(
+            parse("M('a','b'), N('a','b'), N('a','c')"), tmp_path / "csvdata"
+        )
+        code = main(["solve", setting_file, str(tmp_path / "csvdata")])
+        assert code == 0
+        assert "core" in capsys.readouterr().out
+
+    def test_error_reporting(self, tmp_path, capsys):
+        path = tmp_path / "broken.txt"
+        path.write_text("source P/1", encoding="utf-8")
+        code = main(["analyze", str(path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

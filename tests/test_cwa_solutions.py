@@ -1,0 +1,137 @@
+"""Tests for CWA-solutions: Definition 4.7, Theorem 4.8, Example 4.9."""
+
+import pytest
+
+from repro.core import isomorphic
+from repro.cwa import (
+    core_solution,
+    cwa_solution_exists,
+    enumerate_cwa_presolutions,
+    enumerate_cwa_solutions,
+    is_cwa_presolution,
+    is_cwa_solution,
+)
+from repro.generators.settings_library import example_4_9_non_solutions
+from repro.homomorphism import has_homomorphism
+from repro.logic import parse_instance
+
+
+class TestExample21Solutions:
+    def test_t2_and_t3_are_cwa_solutions(
+        self, setting_2_1, source_2_1, solutions_2_1
+    ):
+        _, t2, t3 = solutions_2_1
+        assert is_cwa_solution(setting_2_1, source_2_1, t2)
+        assert is_cwa_solution(setting_2_1, source_2_1, t3)
+
+    def test_t1_is_not(self, setting_2_1, source_2_1, solutions_2_1):
+        t1, _, _ = solutions_2_1
+        assert not is_cwa_solution(setting_2_1, source_2_1, t1)
+
+
+class TestExample49:
+    def test_t_prime_presolution_but_not_cwa_solution(
+        self, setting_2_1, source_2_1
+    ):
+        """T' = {E(a,b), F(a,⊥), G(⊥,b)}: a CWA-presolution, but the fact
+        ∃x (F(a,x) ∧ G(x,b)) does not follow from S and Σ."""
+        t_prime, _ = example_4_9_non_solutions()
+        assert is_cwa_presolution(setting_2_1, source_2_1, t_prime)
+        assert not setting_2_1.is_universal_solution(source_2_1, t_prime)
+        assert not is_cwa_solution(setting_2_1, source_2_1, t_prime)
+
+    def test_t_double_prime_universal_but_not_presolution(
+        self, setting_2_1, source_2_1
+    ):
+        """T'' is a universal solution but E(⊥3, b) is unjustified."""
+        _, t_double_prime = example_4_9_non_solutions()
+        assert setting_2_1.is_universal_solution(source_2_1, t_double_prime)
+        assert not is_cwa_presolution(setting_2_1, source_2_1, t_double_prime)
+        assert not is_cwa_solution(setting_2_1, source_2_1, t_double_prime)
+
+
+class TestTheorem48:
+    """CWA-solution ⟺ universal ∧ CWA-presolution, over the whole
+    enumerated presolution space."""
+
+    def test_equivalence_on_example_2_1(self, setting_2_1, source_2_1):
+        presolutions = enumerate_cwa_presolutions(setting_2_1, source_2_1)
+        solutions = enumerate_cwa_solutions(setting_2_1, source_2_1)
+        assert presolutions, "presolution space must not be empty"
+        for candidate in presolutions:
+            expected = setting_2_1.is_universal_solution(source_2_1, candidate)
+            got = any(isomorphic(candidate, sol) for sol in solutions)
+            assert got == expected
+
+    def test_equivalence_on_example_5_3(self, setting_5_3, source_5_3):
+        presolutions = enumerate_cwa_presolutions(setting_5_3, source_5_3)
+        for candidate in presolutions:
+            direct = is_cwa_solution(setting_5_3, source_5_3, candidate)
+            via_thm = setting_5_3.is_universal_solution(
+                source_5_3, candidate
+            ) and is_cwa_presolution(setting_5_3, source_5_3, candidate)
+            assert direct == via_thm
+
+
+class TestExistence:
+    def test_exists_for_example_2_1(self, setting_2_1, source_2_1):
+        assert cwa_solution_exists(setting_2_1, source_2_1)
+
+    def test_fails_on_constant_clash(self, setting_egd_only):
+        # Two departments with two distinct constant managers... the
+        # egd-only setting uses nulls, so build a failing source through
+        # the full-tgd route instead.
+        from repro.core import Schema
+        from repro.exchange import DataExchangeSetting
+
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        source = parse_instance("Src('a','b'), Src('a','c')")
+        assert not cwa_solution_exists(setting, source)
+        assert core_solution(setting, source) is None
+
+    def test_empty_source_has_empty_solution(self, setting_2_1):
+        from repro.core import Instance
+
+        empty = Instance()
+        assert cwa_solution_exists(setting_2_1, empty)
+        assert len(core_solution(setting_2_1, empty)) == 0
+
+
+class TestCoreIsCwaSolution:
+    """Theorem 5.1 across all fixture settings."""
+
+    def test_example_2_1(self, setting_2_1, source_2_1, solutions_2_1):
+        minimal = core_solution(setting_2_1, source_2_1)
+        assert is_cwa_solution(setting_2_1, source_2_1, minimal)
+        _, _, t3 = solutions_2_1
+        assert isomorphic(minimal, t3)
+
+    def test_example_5_3(self, setting_5_3, source_5_3):
+        minimal = core_solution(setting_5_3, source_5_3)
+        assert is_cwa_solution(setting_5_3, source_5_3, minimal)
+
+    def test_egd_only_setting(self, setting_egd_only):
+        source = parse_instance("Emp('e1','d1'), Emp('e2','d1')")
+        minimal = core_solution(setting_egd_only, source)
+        assert is_cwa_solution(setting_egd_only, source, minimal)
+
+    def test_full_tgd_setting(self, setting_full_tgd):
+        source = parse_instance(
+            "Edge('a','b'), Edge('b','c'), Start('a')"
+        )
+        minimal = core_solution(setting_full_tgd, source)
+        assert is_cwa_solution(setting_full_tgd, source, minimal)
+        # Reachability was computed.
+        assert minimal.count_of("Reach") == 3
+
+    def test_core_has_homomorphism_into_every_cwa_solution(
+        self, setting_2_1, source_2_1
+    ):
+        minimal = core_solution(setting_2_1, source_2_1)
+        for solution in enumerate_cwa_solutions(setting_2_1, source_2_1):
+            assert has_homomorphism(minimal, solution)

@@ -1,0 +1,192 @@
+"""Tests for the datalog engine and datalog certain answers."""
+
+import pytest
+
+from repro.answering import datalog_certain_answers, ucq_certain_answers
+from repro.core import Atom, Const, Null, RelationSymbol, Schema, UnsupportedQueryError
+from repro.exchange import DataExchangeSetting
+from repro.logic import DatalogProgram, parse_instance, parse_program, parse_query, parse_rule
+
+REACH = """
+reach(x) :- start(x).
+reach(y) :- reach(x), edge(x, y).
+"""
+
+
+class TestParsing:
+    def test_parse_rule(self):
+        rule = parse_rule("reach(y) :- reach(x), edge(x, y)")
+        assert rule.head.relation.name == "reach"
+        assert len(rule.body) == 2
+
+    def test_trailing_dot_ok(self):
+        assert parse_rule("p(x) :- q(x).").head.relation.name == "p"
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_rule("p(x, y) :- q(x)")
+
+    def test_bodyless_rule_rejected(self):
+        from repro.core import ParseError
+
+        with pytest.raises((UnsupportedQueryError, ParseError)):
+            parse_rule("p(x) :- ")
+
+    def test_parse_program_with_comments(self):
+        program = parse_program(
+            "% reachability\n" + REACH + "# done", goal="reach"
+        )
+        assert len(program.rules) == 2
+        assert program.is_recursive
+
+    def test_goal_must_occur(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_program(REACH, goal="nope")
+
+    def test_empty_program_rejected(self):
+        from repro.core import ParseError
+
+        with pytest.raises(ParseError):
+            parse_program("% nothing here", goal="p")
+
+    def test_nonrecursive_detection(self):
+        program = parse_program("p(x) :- q(x), r(x).", goal="p")
+        assert not program.is_recursive
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        program = parse_program(REACH, goal="reach")
+        instance = parse_instance(
+            "start('a'), edge('a','b'), edge('b','c'), edge('d','e')"
+        )
+        answers = program.certain_part(instance)
+        assert answers == frozenset(
+            {(Const("a"),), (Const("b"),), (Const("c"),)}
+        )
+
+    def test_constants_in_rules(self):
+        program = parse_program("p(x) :- edge('a', x).", goal="p")
+        instance = parse_instance("edge('a','b'), edge('c','d')")
+        assert program.certain_part(instance) == frozenset({(Const("b"),)})
+
+    def test_nulls_flow_but_are_dropped_from_certain(self):
+        program = parse_program(REACH, goal="reach")
+        instance = parse_instance("start('a'), edge('a', #1), edge(#1, 'c')")
+        naive = program.answers(instance)
+        assert (Null(1),) in naive
+        assert (Const("c"),) in naive
+        certain = program.certain_part(instance)
+        assert certain == frozenset({(Const("a"),), (Const("c"),)})
+
+    def test_mutual_recursion(self):
+        program = parse_program(
+            """
+            even(x) :- zero(x).
+            odd(y)  :- even(x), succ(x, y).
+            even(y) :- odd(x), succ(x, y).
+            """,
+            goal="even",
+        )
+        instance = parse_instance(
+            "zero('0'), succ('0','1'), succ('1','2'), succ('2','3'), succ('3','4')"
+        )
+        evens = {answer[0].name for answer in program.certain_part(instance)}
+        assert evens == {"0", "2", "4"}
+
+    def test_input_instance_not_mutated(self):
+        program = parse_program(REACH, goal="reach")
+        instance = parse_instance("start('a'), edge('a','b')")
+        program.evaluate(instance)
+        assert len(instance) == 2
+
+    def test_cyclic_data_terminates(self):
+        program = parse_program(REACH, goal="reach")
+        instance = parse_instance(
+            "start('a'), edge('a','b'), edge('b','a')"
+        )
+        assert len(program.certain_part(instance)) == 2
+
+
+class TestDatalogCertainAnswers:
+    @pytest.fixture
+    def reachability_setting(self):
+        return DataExchangeSetting.from_strings(
+            Schema.of(Road=2, City=1),
+            Schema.of(Link=2, Hub=1),
+            [
+                "Road(x, y) -> Link(x, y)",
+                "City(x) -> exists y . Link(x, y)",
+                "City(x) -> Hub(x)",
+            ],
+            [],
+        )
+
+    def test_theorem_7_6_extended_to_datalog(self, reachability_setting):
+        source = parse_instance(
+            "Road('a','b'), Road('b','c'), City('a'), City('q')"
+        )
+        program = parse_program(
+            """
+            reach(x) :- Hub(x).
+            reach(y) :- reach(x), Link(x, y).
+            """,
+            goal="reach",
+        )
+        answers = datalog_certain_answers(
+            reachability_setting, source, program
+        )
+        names = {answer[0].name for answer in answers}
+        # q's Link-target is a null: dropped; a,b,c are certain.
+        assert names == {"a", "b", "c", "q"}
+
+    def test_same_on_every_cwa_solution(self, setting_2_1, source_2_1):
+        """Lemma 7.7 for datalog: every CWA-solution gives the same
+        certain answers."""
+        from repro.cwa import enumerate_cwa_solutions
+
+        program = parse_program(
+            """
+            conn(x, y) :- E(x, y).
+            conn(x, z) :- conn(x, y), F(y, z).
+            """,
+            goal="conn",
+        )
+        results = {
+            datalog_certain_answers(
+                setting_2_1, source_2_1, program, solution=solution
+            )
+            for solution in enumerate_cwa_solutions(setting_2_1, source_2_1)
+        }
+        assert len(results) == 1
+
+    def test_nonrecursive_program_matches_ucq(self, setting_2_1, source_2_1):
+        """A non-recursive program unfolds to a UCQ; both paths agree."""
+        program = parse_program(
+            """
+            q(x) :- E(x, y).
+            q(x) :- F(x, y).
+            """,
+            goal="q",
+        )
+        via_datalog = datalog_certain_answers(setting_2_1, source_2_1, program)
+        via_ucq = ucq_certain_answers(
+            setting_2_1,
+            source_2_1,
+            parse_query("Q(x) :- E(x, y) ; Q(x) :- F(x, y)"),
+        )
+        assert via_datalog == via_ucq
+
+    def test_no_solution_raises(self):
+        from repro.answering import NoCwaSolutionError
+
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        source = parse_instance("Src('a','b'), Src('a','c')")
+        program = parse_program("p(x) :- Tgt(x, y).", goal="p")
+        with pytest.raises(NoCwaSolutionError):
+            datalog_certain_answers(setting, source, program)

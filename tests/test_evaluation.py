@@ -1,0 +1,105 @@
+"""Tests for active-domain FO evaluation."""
+
+import pytest
+
+from repro.core import Const, Instance, Null, atom, RelationSymbol
+from repro.logic import parse_formula, parse_instance
+from repro.logic.evaluation import holds, satisfying_assignments
+from repro.logic.parser import parse_query
+
+E = RelationSymbol("E", 2)
+P = RelationSymbol("P", 1)
+
+
+@pytest.fixture
+def path():
+    return parse_instance("E('a','b'), E('b','c'), P('a')")
+
+
+class TestHolds:
+    def test_atom_true(self, path):
+        assert holds(parse_formula("E('a','b')"), path)
+
+    def test_atom_false(self, path):
+        assert not holds(parse_formula("E('b','a')"), path)
+
+    def test_conjunction(self, path):
+        assert holds(parse_formula("E('a','b') & E('b','c')"), path)
+        assert not holds(parse_formula("E('a','b') & E('c','a')"), path)
+
+    def test_disjunction(self, path):
+        assert holds(parse_formula("E('c','a') | P('a')"), path)
+
+    def test_negation(self, path):
+        assert holds(parse_formula("~E('b','a')"), path)
+
+    def test_exists(self, path):
+        assert holds(parse_formula("exists x . E('a', x)"), path)
+        assert not holds(parse_formula("exists x . E(x, 'a')"), path)
+
+    def test_forall(self, path):
+        # Every P-node has an outgoing edge.
+        assert holds(parse_formula("forall x . P(x) -> exists y . E(x, y)"), path)
+        # Not every node has an outgoing edge ('c' does not).
+        assert not holds(parse_formula("forall x . exists y . E(x, y)"), path)
+
+    def test_implication(self, path):
+        assert holds(parse_formula("E('c','z') -> E('z','c')"), path)
+
+    def test_equality(self, path):
+        assert holds(parse_formula("exists x . x = 'a'"), path)
+        assert holds(parse_formula("exists x, y . E(x, y) & x != y"), path)
+
+    def test_free_variable_assignment(self):
+        inst = parse_instance("P('a')")
+        formula = parse_formula("P(x)")
+        x = next(iter(formula.free_variables()))
+        assert holds(formula, inst, {x: Const("a")})
+        assert not holds(formula, inst, {x: Const("b")})
+
+    def test_missing_assignment_raises(self):
+        formula = parse_formula("P(x)")
+        with pytest.raises(ValueError):
+            holds(formula, parse_instance("P('a')"))
+
+    def test_true_false_literals(self, path):
+        assert holds(parse_formula("true"), path)
+        assert not holds(parse_formula("false"), path)
+
+
+class TestNullSemantics:
+    def test_null_equals_only_itself(self):
+        inst = Instance([atom(P, Null(0)), atom(P, Null(1))])
+        assert holds(parse_formula("exists x, y . P(x) & P(y) & x != y"), inst)
+        assert not holds(parse_formula("exists x . P(x) & x = 'a'"), inst)
+
+    def test_null_in_atom_formula(self):
+        inst = Instance([atom(E, "a", Null(3))])
+        # The DSL writes the null as #3.
+        assert holds(parse_formula("E('a', #3)"), inst)
+        assert not holds(parse_formula("E('a', #4)"), inst)
+
+
+class TestQuantifierDomain:
+    def test_formula_constants_join_domain(self):
+        # 'z' does not occur in the instance but is mentioned by the
+        # formula, so the existential quantifier can still reach it...
+        inst = parse_instance("P('a')")
+        assert holds(parse_formula("exists x . x = 'z'"), inst)
+
+    def test_active_domain_restricts(self):
+        inst = parse_instance("P('a')")
+        # only 'a' is in the domain; no second distinct element exists.
+        assert not holds(parse_formula("exists x, y . x != y"), inst)
+
+
+class TestSatisfyingAssignments:
+    def test_enumerates_answers(self, path):
+        formula = parse_formula("exists y . E(x, y)")
+        x = next(iter(formula.free_variables()))
+        answers = set(satisfying_assignments(formula, path, [x]))
+        assert answers == {(Const("a"),), (Const("b"),)}
+
+    def test_zero_ary(self, path):
+        formula = parse_formula("exists x . P(x)")
+        assert list(satisfying_assignments(formula, path, [])) == [()]

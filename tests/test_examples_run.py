@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs and prints its key claims.
+
+These are integration tests of the public API as the examples use it;
+they keep `examples/` honest as the library evolves.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "T1: solution=True, universal=False" in output
+        assert "T3: solution=True, universal=True" in output
+        assert "[('a', 'b')]" in output
+
+    def test_university_exchange(self):
+        output = run_example("university_exchange.py")
+        assert "Core (minimal CWA-solution)" in output
+        assert "kolaitis" in output
+        assert "'libkin'" in output or "libkin" in output
+
+    def test_anomalies(self):
+        output = run_example("anomalies.py")
+        assert "only 9 answers" in output
+        assert "18 answers" in output
+
+    def test_exponential_solutions(self):
+        output = run_example("exponential_solutions.py")
+        assert "|CWA-solutions| = 4  (= 4^1)" in output
+        assert "|CWA-solutions| = 16  (= 4^2)" in output
+        assert "a maximal CWA-solution exists: False" in output
+
+    def test_alpha_chase_tour(self):
+        output = run_example("alpha_chase_tour.py")
+        assert "α1: success" in output
+        assert "α2: failure" in output
+        assert "α3: diverged" in output
+
+    def test_datalog_reachability(self):
+        output = run_example("datalog_reachability.py")
+        assert "malmo" in output
+        assert "munich" in output
+
+    @pytest.mark.slow
+    def test_turing_halting(self):
+        output = run_example("turing_halting.py")
+        assert "match: True" in output
+        assert "is a solution:       True" in output
+        assert "NEXT chain visits" in output

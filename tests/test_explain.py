@@ -1,0 +1,84 @@
+"""Tests for the chase narration/explain module."""
+
+import pytest
+
+from repro.chase import alpha_chase, explain, narrate, standard_chase
+from repro.chase.alpha import ExplicitAlpha
+from repro.core import Const, Null, NullFactory
+from repro.dependencies import parse_dependencies
+from repro.logic import parse_instance
+
+
+class TestExplain:
+    def test_replay_matches_engine_result(self):
+        deps = parse_dependencies(
+            [
+                "E(x, y) -> exists z . F(y, z)",
+                "F(x, y) -> G(y, x)",
+            ]
+        )
+        source = parse_instance("E('a','b'), E('b','c')")
+        outcome = standard_chase(source, deps, trace=True)
+        steps = explain(source, outcome)
+        assert steps
+        assert steps[-1].instance == outcome.instance
+
+    def test_untraced_outcome_rejected(self):
+        deps = parse_dependencies(["E(x, y) -> exists z . F(y, z)"])
+        source = parse_instance("E('a','b')")
+        outcome = standard_chase(source, deps, trace=False)
+        with pytest.raises(ValueError):
+            explain(source, outcome)
+
+    def test_zero_step_chase_explained(self):
+        deps = parse_dependencies(["E(x, y) -> exists z . F(y, z)"])
+        source = parse_instance("F('b','w'), E('a','b')")
+        outcome = standard_chase(source, deps, trace=False)
+        assert outcome.steps == 0
+        assert explain(source, outcome) == []
+
+    def test_narrate_structure(self):
+        deps = parse_dependencies(["E(x, y) -> exists z . F(y, z)"])
+        source = parse_instance("E('a','b')")
+        outcome = standard_chase(source, deps, trace=True)
+        text = narrate(source, outcome)
+        assert text.startswith("I0 = {E(a, b)}")
+        assert "I1 = I0 ∪" in text
+        assert "result: success after 1 step(s)" in text
+
+    def test_narrate_records_merges(self):
+        deps = parse_dependencies(
+            [
+                "E(x, y) -> exists z . F(x, z)",
+                "G(x, y) -> F(x, y)",
+                "F(x, y) & F(x, z) -> y = z",
+            ]
+        )
+        source = parse_instance("E('a','b'), G('a','c')")
+        outcome = standard_chase(source, deps, trace=True)
+        text = narrate(source, outcome)
+        assert "replacing" in text
+
+    def test_narrate_alpha_chase(self, setting_2_1, source_2_1):
+        d1, d2 = setting_2_1.st_dependencies
+        d3, d4 = setting_2_1.target_dependencies
+
+        def values(*items):
+            return tuple(
+                Null(i) if isinstance(i, int) else Const(i) for i in items
+            )
+
+        alpha = ExplicitAlpha(
+            {
+                (d2, values("a"), values("b")): values(1, 3),
+                (d2, values("a"), values("c")): values(2, 3),
+                (d3, values(3), values("a")): values(4),
+            },
+            fallback=NullFactory(100),
+        )
+        outcome = alpha_chase(
+            source_2_1, list(setting_2_1.all_dependencies), alpha, trace=True
+        )
+        text = narrate(source_2_1, outcome, show_instances=True)
+        assert "result: success" in text
+        assert "I4" in text

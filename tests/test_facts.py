@@ -1,0 +1,99 @@
+"""Tests for facts, the canonical fact φ_T, and Definition 4.7 verbatim."""
+
+import pytest
+
+from repro.core import ReproError, isomorphic
+from repro.cwa import (
+    canonical_fact,
+    enumerate_cwa_presolutions,
+    fact_follows,
+    is_cwa_solution,
+    is_cwa_solution_by_definition,
+)
+from repro.generators.settings_library import example_4_9_non_solutions
+from repro.logic import parse_instance, parse_query
+
+
+class TestFactFollows:
+    def test_forced_fact_follows(self, setting_2_1, source_2_1):
+        fact = parse_query("Q() :- E('a', 'b')")
+        assert fact_follows(setting_2_1, source_2_1, fact)
+
+    def test_chain_fact_follows(self, setting_2_1, source_2_1):
+        # d2 then d3 force an F-G chain from a.
+        fact = parse_query("Q() :- F('a', x), G(x, y)")
+        assert fact_follows(setting_2_1, source_2_1, fact)
+
+    def test_paper_counterexample_does_not_follow(self, setting_2_1, source_2_1):
+        """The fact 'a and b are connected by an F-G path of length two'
+        (Section 4's motivating example for CWA3) does not follow."""
+        fact = parse_query("Q() :- F('a', x), G(x, 'b')")
+        assert not fact_follows(setting_2_1, source_2_1, fact)
+
+    def test_non_boolean_rejected(self, setting_2_1, source_2_1):
+        with pytest.raises(ReproError):
+            fact_follows(setting_2_1, source_2_1, parse_query("Q(x) :- E(x, y)"))
+
+    def test_inequalities_rejected(self, setting_2_1, source_2_1):
+        with pytest.raises(ReproError):
+            fact_follows(
+                setting_2_1,
+                source_2_1,
+                parse_query("Q() :- E(x, y), x != y"),
+            )
+
+    def test_vacuous_when_no_solution(self):
+        from repro.core import Schema
+        from repro.exchange import DataExchangeSetting
+
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        source = parse_instance("Src('a','b'), Src('a','c')")
+        assert fact_follows(setting, source, parse_query("Q() :- Tgt('q','q')"))
+
+
+class TestCanonicalFact:
+    def test_shape(self):
+        target = parse_instance("E('a', #1), F(#1, #2)")
+        fact = canonical_fact(target)
+        assert fact.arity == 0
+        assert len(fact.body) == 2
+
+    def test_follows_iff_homomorphism(self, setting_2_1, source_2_1, solutions_2_1):
+        """φ_T follows iff hom(T → canonical universal solution) -- the
+        bridge the paper uses to prove Theorem 4.8."""
+        from repro.homomorphism import has_homomorphism
+
+        canonical = setting_2_1.canonical_universal_solution(source_2_1)
+        for target in solutions_2_1:
+            assert fact_follows(
+                setting_2_1, source_2_1, canonical_fact(target)
+            ) == has_homomorphism(target, canonical)
+
+
+class TestDefinition47Verbatim:
+    def test_agrees_with_theorem_4_8_on_named_instances(
+        self, setting_2_1, source_2_1, solutions_2_1
+    ):
+        t1, t2, t3 = solutions_2_1
+        t_prime, t_double_prime = example_4_9_non_solutions()
+        for target in (t1, t2, t3, t_prime, t_double_prime):
+            assert is_cwa_solution_by_definition(
+                setting_2_1, source_2_1, target
+            ) == is_cwa_solution(setting_2_1, source_2_1, target)
+
+    def test_agrees_on_enumerated_presolutions(self, setting_2_1, source_2_1):
+        for candidate in enumerate_cwa_presolutions(setting_2_1, source_2_1):
+            assert is_cwa_solution_by_definition(
+                setting_2_1, source_2_1, candidate
+            ) == is_cwa_solution(setting_2_1, source_2_1, candidate)
+
+    def test_agrees_on_example_5_3(self, setting_5_3, source_5_3):
+        for candidate in enumerate_cwa_presolutions(setting_5_3, source_5_3):
+            assert is_cwa_solution_by_definition(
+                setting_5_3, source_5_3, candidate
+            ) == is_cwa_solution(setting_5_3, source_5_3, candidate)

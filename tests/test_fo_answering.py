@@ -1,0 +1,114 @@
+"""Tests for FO query answering (Proposition 7.4) and the inequality
+boundary (Theorem 7.5's query class)."""
+
+import pytest
+
+from repro.answering import (
+    all_four_semantics,
+    certain_answers,
+    maybe_answers,
+    persistent_maybe_answers,
+)
+from repro.core import Const, Schema
+from repro.exchange import DataExchangeSetting
+from repro.logic import parse_instance, parse_query
+
+
+@pytest.fixture(scope="module")
+def richly_acyclic_setting():
+    """A richly acyclic setting with an egd and an existential tgd."""
+    return DataExchangeSetting.from_strings(
+        Schema.of(Person=2),
+        Schema.of(Lives=2, City=1),
+        ["Person(p, c) -> Lives(p, c) & City(c)"],
+        [],
+    )
+
+
+@pytest.fixture(scope="module")
+def null_setting():
+    return DataExchangeSetting.from_strings(
+        Schema.of(Emp=1),
+        Schema.of(Works=2),
+        ["Emp(e) -> exists d . Works(e, d)"],
+        [],
+    )
+
+
+class TestFOCertain:
+    def test_negation_under_cwa(self, richly_acyclic_setting):
+        """¬Lives(bob, paris) is certain: the CWA closes the relation."""
+        source = parse_instance("Person('alice','paris')")
+        query = parse_query("Q() := ~Lives('bob', 'paris')")
+        assert certain_answers(richly_acyclic_setting, source, query)
+
+    def test_universal_quantification(self, richly_acyclic_setting):
+        source = parse_instance(
+            "Person('alice','paris'), Person('bob','paris')"
+        )
+        query = parse_query("Q() := forall c . City(c) -> exists p . Lives(p, c)")
+        assert certain_answers(richly_acyclic_setting, source, query)
+
+    def test_fo_query_on_nulls_not_certain(self, null_setting):
+        """The department of e is unknown: Works(e, 'hr') is neither
+        certainly true nor certainly false."""
+        source = parse_instance("Emp('e')")
+        positive = parse_query("Q() := Works('e', 'hr')")
+        negative = parse_query("Q() := ~Works('e', 'hr')")
+        assert not certain_answers(null_setting, source, positive)
+        assert not certain_answers(null_setting, source, negative)
+        assert maybe_answers(null_setting, source, positive)
+        assert maybe_answers(null_setting, source, negative)
+
+    def test_exists_certain_even_with_null(self, null_setting):
+        source = parse_instance("Emp('e')")
+        query = parse_query("Q() := exists d . Works('e', d)")
+        assert certain_answers(null_setting, source, query)
+
+    def test_chain_on_fo_queries(self, null_setting):
+        source = parse_instance("Emp('e'), Emp('f')")
+        queries = [
+            parse_query("Q() := exists d . Works('e', d) & Works('f', d)"),
+            parse_query("Q(x) := exists d . Works(x, d)"),
+        ]
+        for query in queries:
+            results = all_four_semantics(null_setting, source, query)
+            assert results["certain"] <= results["potential_certain"]
+            assert results["potential_certain"] <= results["persistent_maybe"]
+            assert results["persistent_maybe"] <= results["maybe"]
+
+    def test_shared_department_is_maybe_not_certain(self, null_setting):
+        source = parse_instance("Emp('e'), Emp('f')")
+        query = parse_query("Q() := exists d . Works('e', d) & Works('f', d)")
+        assert not certain_answers(null_setting, source, query)
+        assert persistent_maybe_answers(null_setting, source, query)
+
+
+class TestInequalityQueries:
+    """The query class of Theorem 7.5 under □/◇ on concrete instances."""
+
+    def test_inequality_certain_with_distinct_constants(self, null_setting):
+        source = parse_instance("Emp('e'), Emp('f')")
+        query = parse_query("Q() :- Works(x, u), Works(y, w), x != y")
+        assert certain_answers(null_setting, source, query)
+
+    def test_inequality_on_nulls_not_certain(self, null_setting):
+        source = parse_instance("Emp('e'), Emp('f')")
+        # departments might coincide
+        query = parse_query("Q() :- Works('e', u), Works('f', w), u != w")
+        assert not certain_answers(null_setting, source, query)
+        assert maybe_answers(null_setting, source, query)
+
+    def test_inequality_certain_via_egd(self):
+        """An egd can make an inequality certain: distinct keys force
+        distinct witnesses... here the egd equates instead, making the
+        inequality certainly FALSE."""
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Emp=1),
+            Schema.of(Works=2),
+            ["Emp(e) -> exists d . Works(e, d)"],
+            ["Works(e, d1) & Works(e, d2) -> d1 = d2"],
+        )
+        source = parse_instance("Emp('e')")
+        query = parse_query("Q() :- Works('e', u), Works('e', w), u != w")
+        assert not maybe_answers(setting, source, query)

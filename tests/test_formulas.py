@@ -1,0 +1,116 @@
+"""Tests for the FO formula AST and its helpers."""
+
+from repro.core import Atom, Const, RelationSymbol, Variable
+from repro.logic.formulas import (
+    And,
+    Equality,
+    Exists,
+    Falsity,
+    Forall,
+    Not,
+    Or,
+    RelationalAtom,
+    Truth,
+    atoms_of,
+    conjunction,
+    disjunction,
+    is_conjunction_of_atoms,
+)
+
+E = RelationSymbol("E", 2)
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def edge(a, b):
+    return RelationalAtom(Atom(E, (a, b)))
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert edge(x, y).free_variables() == frozenset({x, y})
+
+    def test_quantifier_binds(self):
+        formula = Exists((y,), edge(x, y))
+        assert formula.free_variables() == frozenset({x})
+
+    def test_nested_quantifiers(self):
+        formula = Forall((x,), Exists((y,), edge(x, y)))
+        assert formula.free_variables() == frozenset()
+
+    def test_equality(self):
+        assert Equality(x, Const("a")).free_variables() == frozenset({x})
+
+    def test_connectives_union(self):
+        formula = And((edge(x, y), edge(y, z)))
+        assert formula.free_variables() == frozenset({x, y, z})
+
+    def test_truth_falsity(self):
+        assert Truth().free_variables() == frozenset()
+        assert Falsity().free_variables() == frozenset()
+
+
+class TestSubstitution:
+    def test_atom_substitution(self):
+        formula = edge(x, y).substitute({x: Const("a")})
+        assert formula == edge(Const("a"), y)
+
+    def test_bound_variables_shadow(self):
+        formula = Exists((y,), edge(x, y)).substitute({x: Const("a"), y: Const("b")})
+        assert formula == Exists((y,), edge(Const("a"), y))
+
+    def test_equality_substitution(self):
+        assert Equality(x, y).substitute({x: z}) == Equality(z, y)
+
+    def test_negation_substitution(self):
+        assert Not(edge(x, y)).substitute({x: z}) == Not(edge(z, y))
+
+
+class TestHelpers:
+    def test_conjunction_flattens(self):
+        formula = conjunction([edge(x, y), And((edge(y, z), edge(z, x)))])
+        assert isinstance(formula, And)
+        assert len(formula.parts) == 3
+
+    def test_conjunction_drops_truth(self):
+        assert conjunction([Truth(), edge(x, y)]) == edge(x, y)
+
+    def test_empty_conjunction_is_truth(self):
+        assert conjunction([]) == Truth()
+
+    def test_disjunction_flattens(self):
+        formula = disjunction([edge(x, y), Or((edge(y, z),))])
+        assert isinstance(formula, Or)
+        assert len(formula.parts) == 2
+
+    def test_empty_disjunction_is_falsity(self):
+        assert disjunction([]) == Falsity()
+
+    def test_atoms_of_traverses_everything(self):
+        formula = Forall((x,), Or((Not(edge(x, y)), Exists((z,), edge(x, z)))))
+        assert len(atoms_of(formula)) == 2
+
+    def test_is_conjunction_of_atoms(self):
+        assert is_conjunction_of_atoms(edge(x, y))
+        assert is_conjunction_of_atoms(And((edge(x, y), edge(y, z))))
+        assert is_conjunction_of_atoms(Truth())
+        assert not is_conjunction_of_atoms(Or((edge(x, y),)))
+        assert not is_conjunction_of_atoms(And((edge(x, y), Not(edge(y, z)))))
+
+    def test_operator_sugar(self):
+        both = edge(x, y) & edge(y, z)
+        assert isinstance(both, And)
+        either = edge(x, y) | edge(y, z)
+        assert isinstance(either, Or)
+        negated = ~edge(x, y)
+        assert isinstance(negated, Not)
+        implication = edge(x, y).implies(edge(y, x))
+        assert isinstance(implication, Or)
+
+    def test_constants_collected(self):
+        formula = And((edge(Const("a"), x), Equality(x, Const("b"))))
+        assert formula.constants() == frozenset({Const("a"), Const("b")})
+
+    def test_equality_and_hash_of_formulas(self):
+        assert Exists((x,), edge(x, x)) == Exists((x,), edge(x, x))
+        assert hash(Truth()) == hash(Truth())
+        assert Exists((x,), edge(x, x)) != Forall((x,), edge(x, x))

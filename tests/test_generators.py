@@ -1,0 +1,98 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.core import Const, Schema
+from repro.generators import (
+    chain_setting,
+    chain_source,
+    cycle_instance,
+    employee_source,
+    example_2_1_scaled_source,
+    random_graph_instance,
+    random_source_instance,
+    section_3_source,
+    star_source,
+)
+
+
+class TestRandomInstances:
+    def test_reproducible(self):
+        schema = Schema.of(R=2)
+        left = random_source_instance(schema, 5, 10, seed=42)
+        right = random_source_instance(schema, 5, 10, seed=42)
+        assert left == right
+
+    def test_different_seeds_differ(self):
+        schema = Schema.of(R=3)
+        left = random_source_instance(schema, 8, 20, seed=1)
+        right = random_source_instance(schema, 8, 20, seed=2)
+        assert left != right
+
+    def test_domain_respected(self):
+        schema = Schema.of(R=2)
+        inst = random_source_instance(schema, 3, 50, seed=0)
+        assert inst.constants() <= {Const("c0"), Const("c1"), Const("c2")}
+
+    def test_ground(self):
+        schema = Schema.of(R=2)
+        assert random_source_instance(schema, 3, 10, seed=0).is_ground
+
+
+class TestGraphs:
+    def test_cycle_structure(self):
+        inst = cycle_instance(5, "v", labeled=(2,))
+        assert inst.count_of("E") == 5
+        assert inst.count_of("P") == 1
+
+    def test_section_3_source(self):
+        inst = section_3_source()
+        assert inst.count_of("E") == 18
+        assert inst.atoms_of("P") == frozenset(
+            {a for a in inst.atoms_of("P")}
+        )
+        labels = {a.args[0].name for a in inst.atoms_of("P")}
+        assert labels == {"a4"}
+
+    def test_random_graph(self):
+        inst = random_graph_instance(10, 20, seed=3)
+        assert inst.count_of("E") <= 20  # duplicates collapse
+
+    def test_random_graph_without_labels(self):
+        inst = random_graph_instance(5, 10, seed=1, label_name=None)
+        assert inst.count_of("P") == 0
+
+
+class TestScalableFamilies:
+    def test_chain_setting_weakly_acyclic(self):
+        setting = chain_setting(6)
+        assert setting.is_weakly_acyclic
+        assert len(setting.target_dependencies) == 5
+
+    def test_chain_source(self):
+        inst = chain_source(7)
+        assert inst.count_of("R0") == 7
+
+    def test_star_source(self):
+        inst = star_source(5)
+        assert inst.count_of("N") == 5
+        hubs = {a.args[0] for a in inst.atoms_of("N")}
+        assert hubs == {Const("hub")}
+
+    def test_employee_source(self):
+        inst = employee_source(10, 3, seed=0)
+        assert inst.count_of("Emp") == 10
+        departments = {a.args[1].name for a in inst.atoms_of("Emp")}
+        assert departments <= {"d0", "d1", "d2"}
+
+    def test_scaled_example_2_1(self):
+        inst = example_2_1_scaled_source(5, seed=0)
+        assert inst.count_of("M") <= 5
+        assert inst.count_of("N") <= 10
+
+    def test_chain_end_to_end(self):
+        from repro.exchange import solve
+
+        setting = chain_setting(3)
+        result = solve(setting, chain_source(2))
+        assert result.cwa_solution_exists

@@ -1,0 +1,149 @@
+"""Tests for dependency graphs and the acyclicity notions."""
+
+import pytest
+
+from repro.core import RelationSymbol
+from repro.dependencies import (
+    dependency_graph,
+    is_richly_acyclic,
+    is_weakly_acyclic,
+    parse_dependency,
+)
+
+
+def deps(*texts):
+    return [parse_dependency(text) for text in texts]
+
+
+class TestEdges:
+    def test_regular_edge(self):
+        graph = dependency_graph(deps("E(x, y) -> F(y, x)"))
+        E, F = RelationSymbol("E", 2), RelationSymbol("F", 2)
+        assert ((E, 0), (F, 1)) in graph.regular_edges
+        assert ((E, 1), (F, 0)) in graph.regular_edges
+        assert not graph.existential_edges
+
+    def test_existential_edge(self):
+        graph = dependency_graph(deps("E(x, y) -> exists z . F(x, z)"))
+        E, F = RelationSymbol("E", 2), RelationSymbol("F", 2)
+        assert ((E, 0), (F, 0)) in graph.regular_edges
+        assert ((E, 0), (F, 1)) in graph.existential_edges
+
+    def test_premise_only_variables_add_nothing_in_plain_graph(self):
+        graph = dependency_graph(deps("E(x, y) -> exists z . F(x, z)"))
+        E, F = RelationSymbol("E", 2), RelationSymbol("F", 2)
+        # y at (E, 1) contributes no edge in Definition 6.5.
+        assert all(source != (E, 1) for source, _ in graph.edges)
+
+    def test_extended_graph_adds_rich_edges(self):
+        graph = dependency_graph(
+            deps("E(x, y) -> exists z . F(x, z)"), extended=True
+        )
+        E, F = RelationSymbol("E", 2), RelationSymbol("F", 2)
+        # Definition 7.3: y at (E,1) gets an existential edge to (F,1).
+        assert ((E, 1), (F, 1)) in graph.existential_edges
+
+    def test_egds_contribute_no_edges(self):
+        graph = dependency_graph(deps("F(x, y) & F(x, z) -> y = z"))
+        assert not graph.edges
+
+
+class TestWeakAcyclicity:
+    def test_empty_is_weakly_acyclic(self):
+        assert is_weakly_acyclic([])
+
+    def test_full_tgds_always_weakly_acyclic(self):
+        assert is_weakly_acyclic(
+            deps("E(x, y) -> F(y, x)", "F(x, y) -> E(x, y)")
+        )
+
+    def test_self_feeding_existential_is_not(self):
+        assert not is_weakly_acyclic(deps("E(x, y) -> exists z . E(y, z)"))
+
+    def test_two_step_cycle(self):
+        assert not is_weakly_acyclic(
+            deps("E(x, y) -> exists z . F(y, z)", "F(x, y) -> E(x, y)")
+        )
+
+    def test_acyclic_cascade(self):
+        assert is_weakly_acyclic(
+            deps(
+                "R1(x, y) -> exists z . R2(y, z)",
+                "R2(x, y) -> exists z . R3(y, z)",
+            )
+        )
+
+    def test_example_2_1_target_deps(self, setting_2_1):
+        assert setting_2_1.is_weakly_acyclic
+
+    def test_example_5_3_target_deps(self, setting_5_3):
+        assert setting_5_3.is_weakly_acyclic
+
+    def test_d_emb_is_not_weakly_acyclic(self):
+        from repro.reductions import d_emb_setting
+
+        assert not d_emb_setting().is_weakly_acyclic
+
+    def test_d_halt_is_not_weakly_acyclic(self):
+        from repro.reductions import d_halt_setting
+
+        assert not d_halt_setting().is_weakly_acyclic
+
+
+class TestRichAcyclicity:
+    def test_richly_implies_weakly(self):
+        # A weakly-but-not-richly acyclic set: the premise-only variable
+        # y feeds the existential position of F, and F feeds E's premise.
+        weak_not_rich = deps(
+            "E(x, y) -> exists z . F(x, z)",
+            "F(x, y) -> E(x, y)",
+        )
+        assert is_weakly_acyclic(weak_not_rich)
+        assert not is_richly_acyclic(weak_not_rich)
+
+    def test_example_2_1_is_richly_acyclic(self, setting_2_1):
+        assert setting_2_1.is_richly_acyclic
+
+    def test_example_5_3_is_richly_acyclic(self, setting_5_3):
+        assert setting_5_3.is_richly_acyclic
+
+    def test_full_tgds_richly_acyclic(self, setting_full_tgd):
+        assert setting_full_tgd.is_richly_acyclic
+
+    def test_every_richly_acyclic_case_is_weakly_acyclic(self):
+        cases = [
+            [],
+            deps("E(x, y) -> F(y, x)"),
+            deps("E(x, y) -> exists z . F(y, z)"),
+            deps("E(x, y) -> exists z . F(y, z)", "F(x, y) -> G(x, y)"),
+        ]
+        for case in cases:
+            if is_richly_acyclic(case):
+                assert is_weakly_acyclic(case)
+
+
+class TestScc:
+    def test_components_of_cycle(self):
+        graph = dependency_graph(
+            deps("E(x, y) -> F(y, x)", "F(x, y) -> E(y, x)")
+        )
+        components = graph.strongly_connected_components()
+        sizes = sorted(len(c) for c in components)
+        # (E,0),(F,1) form one SCC; (E,1),(F,0) the other.
+        assert sizes == [2, 2]
+
+    def test_self_loop_detected(self):
+        # z lands in position (E,1), which is where y is read from: the
+        # existential edge (E,1) -> (E,1) is a cycle by itself.
+        graph = dependency_graph(deps("E(x, y) -> exists z . E(y, z)"))
+        assert graph.has_existential_edge_on_cycle()
+
+    def test_frontier_self_supply_is_acyclic(self):
+        # E(x,y) -> ∃z E(x,z): the existential edge (E,0) -> (E,1) lies on
+        # no cycle because nothing leaves (E,1).
+        graph = dependency_graph(deps("E(x, y) -> exists z . E(x, z)"))
+        assert not graph.has_existential_edge_on_cycle()
+
+    def test_vertices(self):
+        graph = dependency_graph(deps("E(x, y) -> F(y, x)"))
+        assert len(graph.vertices()) == 4

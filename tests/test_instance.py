@@ -1,0 +1,192 @@
+"""Unit and property tests for instances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Atom,
+    Const,
+    Instance,
+    Null,
+    RelationSymbol,
+    Schema,
+    SchemaError,
+    Variable,
+    atom,
+    isomorphic,
+)
+
+E = RelationSymbol("E", 2)
+P = RelationSymbol("P", 1)
+
+
+def values():
+    return st.one_of(
+        st.integers(min_value=0, max_value=3).map(lambda i: Const(f"c{i}")),
+        st.integers(min_value=0, max_value=3).map(Null),
+    )
+
+
+def instances(max_atoms=8):
+    return st.lists(
+        st.tuples(values(), values()).map(lambda pair: Atom(E, pair)),
+        max_size=max_atoms,
+    ).map(Instance)
+
+
+class TestBasics:
+    def test_add_and_contains(self):
+        inst = Instance()
+        assert inst.add(atom(E, "a", "b"))
+        assert not inst.add(atom(E, "a", "b"))  # duplicate
+        assert atom(E, "a", "b") in inst
+        assert len(inst) == 1
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(SchemaError):
+            Instance().add(Atom(E, (Variable("x"), Const("a"))))
+
+    def test_discard(self):
+        inst = Instance([atom(E, "a", "b")])
+        assert inst.discard(atom(E, "a", "b"))
+        assert not inst.discard(atom(E, "a", "b"))
+        assert len(inst) == 0
+
+    def test_indexes_follow_discard(self):
+        inst = Instance([atom(E, "a", "b"), atom(E, "a", "c")])
+        inst.discard(atom(E, "a", "b"))
+        assert inst.atoms_with(E, 0, Const("a")) == frozenset({atom(E, "a", "c")})
+        assert inst.count_with(E, 1, Const("b")) == 0
+
+    def test_atoms_of(self):
+        inst = Instance([atom(E, "a", "b"), atom(P, "a")])
+        assert inst.atoms_of("E") == frozenset({atom(E, "a", "b")})
+        assert inst.atoms_of(P) == frozenset({atom(P, "a")})
+
+    def test_relation_names(self):
+        inst = Instance([atom(E, "a", "b"), atom(P, "a")])
+        assert inst.relation_names() == ("E", "P")
+
+    def test_bool(self):
+        assert not Instance()
+        assert Instance([atom(P, "a")])
+
+
+class TestDomains:
+    def test_active_domain(self):
+        inst = Instance([atom(E, "a", Null(0))])
+        assert inst.active_domain() == frozenset({Const("a"), Null(0)})
+
+    def test_constants_and_nulls(self):
+        inst = Instance([atom(E, "a", Null(0))])
+        assert inst.constants() == frozenset({Const("a")})
+        assert inst.nulls() == frozenset({Null(0)})
+
+    def test_is_ground(self):
+        assert Instance([atom(E, "a", "b")]).is_ground
+        assert not Instance([atom(E, "a", Null(0))]).is_ground
+
+    def test_null_factory_is_fresh(self):
+        inst = Instance([atom(E, Null(4), Null(9))])
+        assert inst.null_factory().fresh() == Null(10)
+
+
+class TestAlgebra:
+    def test_union(self):
+        left = Instance([atom(P, "a")])
+        right = Instance([atom(P, "b")])
+        assert len(left | right) == 2
+        assert len(left) == 1  # inputs untouched
+
+    def test_difference(self):
+        left = Instance([atom(P, "a"), atom(P, "b")])
+        assert left.difference(Instance([atom(P, "a")])) == Instance([atom(P, "b")])
+
+    def test_issubset(self):
+        small = Instance([atom(P, "a")])
+        big = Instance([atom(P, "a"), atom(P, "b")])
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_reduct(self):
+        inst = Instance([atom(E, "a", "b"), atom(P, "a")])
+        assert inst.reduct(Schema.of(P=1)) == Instance([atom(P, "a")])
+
+    def test_copy_is_independent(self):
+        original = Instance([atom(P, "a")])
+        duplicate = original.copy()
+        duplicate.add(atom(P, "b"))
+        assert len(original) == 1
+
+    def test_replace_value(self):
+        inst = Instance([atom(E, Null(0), Null(1)), atom(E, Null(1), "a")])
+        inst.replace_value(Null(1), Null(0))
+        assert inst == Instance([atom(E, Null(0), Null(0)), atom(E, Null(0), "a")])
+
+    def test_replace_value_merges_atoms(self):
+        inst = Instance([atom(P, Null(0)), atom(P, Null(1))])
+        inst.replace_value(Null(1), Null(0))
+        assert len(inst) == 1
+
+    def test_rename_values(self):
+        inst = Instance([atom(E, Null(0), "a")])
+        image = inst.rename_values({Null(0): Const("b")})
+        assert image == Instance([atom(E, "b", "a")])
+
+    def test_frozen_snapshot(self):
+        inst = Instance([atom(P, "a")])
+        snapshot = inst.frozen()
+        inst.add(atom(P, "b"))
+        assert len(snapshot) == 1
+
+    def test_instances_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Instance())
+
+
+class TestIsomorphism:
+    def test_equal_instances_isomorphic(self):
+        inst = Instance([atom(E, "a", Null(0))])
+        assert isomorphic(inst, inst.copy())
+
+    def test_null_renaming(self):
+        left = Instance([atom(E, "a", Null(0))])
+        right = Instance([atom(E, "a", Null(7))])
+        assert isomorphic(left, right)
+
+    def test_constants_fixed(self):
+        left = Instance([atom(E, "a", "b")])
+        right = Instance([atom(E, "a", "c")])
+        assert not isomorphic(left, right)
+
+    def test_different_sizes(self):
+        left = Instance([atom(P, Null(0))])
+        right = Instance([atom(P, Null(0)), atom(P, Null(1))])
+        assert not isomorphic(left, right)
+
+    def test_structure_matters(self):
+        left = Instance([atom(E, Null(0), Null(0))])  # a loop
+        right = Instance([atom(E, Null(0), Null(1))])  # an edge
+        assert not isomorphic(left, right)
+
+    def test_cross_structure(self):
+        left = Instance([atom(E, Null(0), Null(1)), atom(E, Null(1), Null(2))])
+        right = Instance([atom(E, Null(5), Null(6)), atom(E, Null(6), Null(7))])
+        assert isomorphic(left, right)
+
+    def test_canonical_renames_to_low_idents(self):
+        inst = Instance([atom(E, Null(100), Null(200))])
+        canonical = inst.canonical()
+        assert canonical.nulls() == frozenset({Null(0), Null(1)})
+        assert isomorphic(inst, canonical)
+
+    @given(instances())
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_preserves_isomorphism(self, inst):
+        assert isomorphic(inst, inst.canonical())
+
+    @given(instances())
+    @settings(max_examples=50, deadline=None)
+    def test_isomorphism_reflexive(self, inst):
+        assert isomorphic(inst, inst.copy())

@@ -1,0 +1,126 @@
+"""Tests for CSV instance I/O."""
+
+import pytest
+
+from repro.core import Const, Instance, Null, ReproError, Schema, SchemaError, atom, RelationSymbol
+from repro.io import (
+    dump_instance,
+    format_cell,
+    load_instance,
+    load_relation,
+    parse_cell,
+    roundtrip_safe,
+)
+from repro.logic import parse_instance
+
+E = RelationSymbol("E", 2)
+
+
+class TestCells:
+    def test_constant_cell(self):
+        assert parse_cell("alice") == Const("alice")
+
+    def test_null_cell(self):
+        assert parse_cell("_:7") == Null(7)
+
+    def test_whitespace_stripped(self):
+        assert parse_cell("  bob ") == Const("bob")
+
+    def test_format_roundtrip(self):
+        for value in (Const("x"), Null(3)):
+            assert parse_cell(format_cell(value)) == value
+
+    def test_almost_null_is_constant(self):
+        assert parse_cell("_:x") == Const("_:x")
+
+
+class TestLoadRelation:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "E.csv"
+        path.write_text("a,b\nb,c\n", encoding="utf-8")
+        atoms = load_relation(path)
+        assert len(atoms) == 2
+        assert atoms[0].relation.name == "E"
+
+    def test_nulls(self, tmp_path):
+        path = tmp_path / "F.csv"
+        path.write_text("a,_:1\n", encoding="utf-8")
+        atoms = load_relation(path)
+        assert atoms[0].args == (Const("a"), Null(1))
+
+    def test_arity_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "E.csv"
+        path.write_text("a,b\nc\n", encoding="utf-8")
+        with pytest.raises(SchemaError):
+            load_relation(path, relation=E)
+
+    def test_generated_header_skipped(self, tmp_path):
+        path = tmp_path / "E.csv"
+        path.write_text("col1,col2\na,b\n", encoding="utf-8")
+        atoms = load_relation(path, relation=E)
+        assert len(atoms) == 1
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "P.csv"
+        path.write_text("a\n\n\nb\n", encoding="utf-8")
+        assert len(load_relation(path)) == 2
+
+
+class TestDirectoryRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        original = parse_instance("E('a','b'), E('b',#1), P('a')")
+        dump_instance(original, tmp_path / "data")
+        loaded = load_instance(tmp_path / "data")
+        assert loaded == original
+
+    def test_schema_validation(self, tmp_path):
+        original = parse_instance("E('a','b')")
+        dump_instance(original, tmp_path / "data")
+        loaded = load_instance(tmp_path / "data", Schema.of(E=2))
+        assert loaded == original
+        with pytest.raises(SchemaError):
+            load_instance(tmp_path / "data", Schema.of(F=2))
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_instance(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ReproError):
+            load_instance(tmp_path / "empty")
+
+    def test_written_paths(self, tmp_path):
+        instance = parse_instance("E('a','b'), P('a')")
+        paths = dump_instance(instance, tmp_path / "out")
+        assert sorted(p.name for p in paths) == ["E.csv", "P.csv"]
+
+    def test_headerless_dump(self, tmp_path):
+        instance = parse_instance("P('a')")
+        dump_instance(instance, tmp_path / "raw", header=False)
+        content = (tmp_path / "raw" / "P.csv").read_text(encoding="utf-8")
+        assert "col1" not in content
+
+
+class TestRoundtripSafety:
+    def test_safe_instance(self):
+        assert roundtrip_safe(parse_instance("E('a', #1)"))
+
+    def test_null_lookalike_unsafe(self):
+        inst = Instance([atom(E, "_:3", "b")])
+        assert not roundtrip_safe(inst)
+
+
+class TestExchangePipeline:
+    def test_exchange_from_csv_to_csv(self, tmp_path, setting_2_1, source_2_1):
+        """End to end: dump S*, reload, solve, dump the core, reload."""
+        from repro.exchange import solve
+
+        dump_instance(source_2_1, tmp_path / "source")
+        source = load_instance(tmp_path / "source", setting_2_1.source_schema)
+        result = solve(setting_2_1, source)
+        dump_instance(result.core_solution, tmp_path / "target")
+        reloaded = load_instance(
+            tmp_path / "target", setting_2_1.target_schema
+        )
+        assert reloaded == result.core_solution

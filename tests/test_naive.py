@@ -1,0 +1,109 @@
+"""Tests for the PTIME UCQ algorithm (Theorem 7.6 / Lemma 7.7)."""
+
+import pytest
+
+from repro.answering import (
+    answers_over_space,
+    certain_answers,
+    owa_certain_answers,
+    potential_certain_answers,
+    u_certain_answers,
+    ucq_certain_answers,
+)
+from repro.core import Const, UnsupportedQueryError
+from repro.cwa import core_solution, enumerate_cwa_solutions
+from repro.logic import parse_instance, parse_query
+
+
+class TestLemma77:
+    """certain□ = certain◇ = □Q(T) = Q(T)↓ for pure UCQs and any
+    CWA-solution T."""
+
+    def test_equals_brute_force_on_example_2_1(self, setting_2_1, source_2_1):
+        queries = [
+            parse_query("Q(x, y) :- E(x, y)"),
+            parse_query("Q(x) :- E(x, y), F(x, z)"),
+            parse_query("Q(x) :- F(x, y) ; Q(x) :- E(x, y)"),
+            parse_query("Q() :- F(x, u), G(u, w)"),
+        ]
+        solutions = enumerate_cwa_solutions(setting_2_1, source_2_1)
+        tdeps = setting_2_1.target_dependencies
+        for query in queries:
+            fast = ucq_certain_answers(setting_2_1, source_2_1, query)
+            box_certain = answers_over_space(query, solutions, tdeps, "certain")
+            box_potential = answers_over_space(
+                query, solutions, tdeps, "potential_certain"
+            )
+            assert fast == box_certain == box_potential
+
+    def test_same_answer_on_every_cwa_solution(self, setting_2_1, source_2_1):
+        query = parse_query("Q(x) :- E(x, y)")
+        reference = None
+        for solution in enumerate_cwa_solutions(setting_2_1, source_2_1):
+            got = ucq_certain_answers(
+                setting_2_1, source_2_1, query, solution=solution
+            )
+            if reference is None:
+                reference = got
+            assert got == reference
+
+    def test_null_tuples_dropped(self, setting_2_1, source_2_1):
+        query = parse_query("Q(y) :- E('a', y)")
+        answers = ucq_certain_answers(setting_2_1, source_2_1, query)
+        assert answers == frozenset({(Const("b"),)})
+
+
+class TestInputValidation:
+    def test_inequality_rejected(self, setting_2_1, source_2_1):
+        query = parse_query("Q(x) :- E(x, y), x != y")
+        with pytest.raises(UnsupportedQueryError):
+            ucq_certain_answers(setting_2_1, source_2_1, query)
+
+    def test_ucq_with_inequality_rejected(self, setting_2_1, source_2_1):
+        query = parse_query("Q(x) :- E(x, y), x != y ; Q(x) :- F(x, y)")
+        with pytest.raises(UnsupportedQueryError):
+            ucq_certain_answers(setting_2_1, source_2_1, query)
+
+    def test_fo_query_rejected(self, setting_2_1, source_2_1):
+        query = parse_query("Q(x) := exists y . E(x, y)")
+        with pytest.raises(UnsupportedQueryError):
+            ucq_certain_answers(setting_2_1, source_2_1, query)
+
+    def test_no_solution_raises(self):
+        from repro.answering import NoCwaSolutionError
+        from repro.core import Schema
+        from repro.exchange import DataExchangeSetting
+
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        source = parse_instance("Src('a','b'), Src('a','c')")
+        with pytest.raises(NoCwaSolutionError):
+            ucq_certain_answers(
+                setting, source, parse_query("Q(x) :- Tgt(x, y)")
+            )
+
+
+class TestUCertain:
+    def test_u_certain_equals_cwa_certain_for_ucq(self, setting_2_1, source_2_1):
+        """For UCQs, u-certain (on the canonical universal solution) and
+        the CWA certain answers coincide (both equal Q(U)↓)."""
+        query = parse_query("Q(x, y) :- E(x, y)")
+        assert u_certain_answers(setting_2_1, source_2_1, query) == (
+            ucq_certain_answers(setting_2_1, source_2_1, query)
+        )
+
+    def test_owa_alias(self, setting_2_1, source_2_1):
+        query = parse_query("Q(x) :- F(x, y)")
+        assert owa_certain_answers(setting_2_1, source_2_1, query) == (
+            u_certain_answers(setting_2_1, source_2_1, query)
+        )
+
+    def test_matches_certain_via_core(self, setting_2_1, source_2_1):
+        query = parse_query("Q(x) :- E(x, y), F(x, z)")
+        assert ucq_certain_answers(setting_2_1, source_2_1, query) == (
+            certain_answers(setting_2_1, source_2_1, query)
+        )

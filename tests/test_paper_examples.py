@@ -1,0 +1,126 @@
+"""Integration test: the complete Example 2.1 / 4.4 / 4.9 walkthrough.
+
+Every claim the paper makes about its running example, checked in one
+place -- the library-level "does the reproduction reproduce" test.
+"""
+
+import pytest
+
+from repro.chase import ChaseStatus, ExplicitAlpha, alpha_chase
+from repro.core import Const, Null, NullFactory, isomorphic
+from repro.cwa import (
+    core_solution,
+    enumerate_cwa_solutions,
+    find_alpha,
+    is_cwa_presolution,
+    is_cwa_solution,
+)
+from repro.exchange import solve
+from repro.generators.settings_library import (
+    example_2_1_setting,
+    example_2_1_solutions,
+    example_2_1_source,
+    example_4_9_non_solutions,
+)
+from repro.homomorphism import find_homomorphism, has_homomorphism
+
+
+@pytest.fixture(scope="module")
+def world():
+    setting = example_2_1_setting()
+    source = example_2_1_source()
+    t1, t2, t3 = example_2_1_solutions()
+    return setting, source, t1, t2, t3
+
+
+class TestSection2Claims(object):
+    def test_t1_t2_t3_are_solutions(self, world):
+        setting, source, t1, t2, t3 = world
+        for target in (t1, t2, t3):
+            assert setting.is_solution(source, target)
+
+    def test_t2_t3_universal_t1_not(self, world):
+        setting, source, t1, t2, t3 = world
+        assert not setting.is_universal_solution(source, t1)
+        assert setting.is_universal_solution(source, t2)
+        assert setting.is_universal_solution(source, t3)
+
+    def test_no_homomorphism_t1_to_t2(self, world):
+        """The paper's reason that T1 is not universal."""
+        _, _, t1, t2, _ = world
+        assert find_homomorphism(t1, t2) is None
+
+    def test_core_is_t3(self, world):
+        setting, source, _, _, t3 = world
+        assert isomorphic(core_solution(setting, source), t3)
+
+    def test_homomorphisms_among_universal_solutions(self, world):
+        _, _, _, t2, t3 = world
+        assert has_homomorphism(t2, t3) and has_homomorphism(t3, t2)
+
+
+class TestSection3Claims(object):
+    def test_libkin_presolutions_are_not_solutions_here(self, world):
+        """The three CWA-solutions in the sense of [12] (without target
+        dependencies) violate Σt: the motivation for this paper."""
+        from repro.logic import parse_instance
+
+        setting, source, *_ = world
+        libkin_solutions = [
+            parse_instance("E('a','b'), F('a',#1)"),
+            parse_instance("E('a','b'), E('a',#1), F('a',#2)"),
+            parse_instance("E('a','b'), E('a',#1), E('a',#2), F('a',#3)"),
+        ]
+        for candidate in libkin_solutions:
+            assert not setting.is_solution(source, candidate)
+
+
+class TestSection4Claims(object):
+    def test_t2_is_cwa_solution_via_alpha1(self, world):
+        setting, source, _, t2, _ = world
+        alpha = find_alpha(setting, source, t2)
+        assert alpha is not None
+        outcome = alpha_chase(source, list(setting.all_dependencies), alpha)
+        assert outcome.successful
+        assert outcome.instance == source.union(t2)
+
+    def test_example_4_9_classification(self, world):
+        setting, source, *_ = world
+        t_prime, t_double_prime = example_4_9_non_solutions()
+        # T': presolution, not universal, hence no CWA-solution.
+        assert is_cwa_presolution(setting, source, t_prime)
+        assert not is_cwa_solution(setting, source, t_prime)
+        # T'': universal, not a presolution, hence no CWA-solution.
+        assert setting.is_universal_solution(source, t_double_prime)
+        assert not is_cwa_solution(setting, source, t_double_prime)
+
+    def test_t_prime_fact_does_not_follow(self, world):
+        """The fact ∃x (F(a,x) ∧ G(x,b)) holds in T' but not in T2 --
+        the paper's witness that T' violates CWA3."""
+        from repro.logic import parse_query
+
+        _, _, _, t2, _ = world
+        t_prime, _ = example_4_9_non_solutions()
+        fact = parse_query("Q() :- F('a', x), G(x, 'b')")
+        assert fact.holds_in(t_prime)
+        assert not fact.holds_in(t2)
+
+
+class TestSection5Claims(object):
+    def test_solution_space(self, world):
+        setting, source, _, t2, t3 = world
+        solutions = enumerate_cwa_solutions(setting, source)
+        assert any(isomorphic(s, t2) for s in solutions)
+        assert any(isomorphic(s, t3) for s in solutions)
+        minimal = core_solution(setting, source)
+        for solution in solutions:
+            assert has_homomorphism(minimal, solution)
+
+
+class TestEndToEnd(object):
+    def test_solve_pipeline(self, world):
+        setting, source, _, _, t3 = world
+        result = solve(setting, source)
+        assert result.cwa_solution_exists
+        assert isomorphic(result.cwa_solution, t3)
+        assert is_cwa_solution(setting, source, result.cwa_solution)

@@ -1,0 +1,161 @@
+"""Tests for the text DSL parser."""
+
+import pytest
+
+from repro.core import Const, Null, ParseError, Schema, Variable
+from repro.logic import parse_atom, parse_formula, parse_instance, parse_query, tokenize
+from repro.logic.formulas import And, Equality, Exists, Forall, Not, Or, RelationalAtom
+from repro.logic.queries import ConjunctiveQuery, FirstOrderQuery, UnionOfConjunctiveQueries
+
+
+class TestTokenizer:
+    def test_tokens(self):
+        kinds = [t.kind for t in tokenize("E(x, 'a') -> y != #3")]
+        assert kinds == [
+            "IDENT", "LPAREN", "IDENT", "COMMA", "STRING", "RPAREN",
+            "ARROW", "IDENT", "NEQ", "NULL", "EOF",
+        ]
+
+    def test_keywords(self):
+        kinds = [t.kind for t in tokenize("exists forall not and or true false")]
+        assert kinds[:-1] == ["EXISTS", "FORALL", "NOT", "AND", "OR", "TRUE", "FALSE"]
+
+    def test_garbage_raises_with_position(self):
+        with pytest.raises(ParseError):
+            tokenize("E(x) @ F(y)")
+
+
+class TestAtoms:
+    def test_variables_are_bare(self):
+        atom = parse_atom("E(x, y)")
+        assert atom.variables == frozenset({Variable("x"), Variable("y")})
+
+    def test_constants_quoted_or_numeric(self):
+        atom = parse_atom("E('a', 42)")
+        assert atom.args == (Const("a"), Const("42"))
+
+    def test_nulls_with_hash(self):
+        atom = parse_atom("P(#7)")
+        assert atom.args == (Null(7),)
+
+    def test_double_quotes(self):
+        assert parse_atom('P("hello")').args == (Const("hello"),)
+
+    def test_schema_validates_arity(self):
+        with pytest.raises(ParseError):
+            parse_atom("E(x)", Schema.of(E=2))
+
+    def test_schema_validates_name(self):
+        with pytest.raises(ParseError):
+            parse_atom("F(x)", Schema.of(E=1))
+
+    def test_nullary_atom(self):
+        atom = parse_atom("Flag()")
+        assert atom.relation.arity == 0
+
+
+class TestInstances:
+    def test_comma_separated(self):
+        inst = parse_instance("P('a'), P('b')")
+        assert len(inst) == 2
+
+    def test_newline_and_semicolon_separators(self):
+        inst = parse_instance("P('a')\nP('b'); P('c')")
+        assert len(inst) == 3
+
+    def test_trailing_comma_ok(self):
+        assert len(parse_instance("P('a'),")) == 1
+
+    def test_empty(self):
+        assert len(parse_instance("")) == 0
+
+    def test_variables_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instance("P(x)")
+
+    def test_nulls_allowed(self):
+        inst = parse_instance("E('a', #1)")
+        assert inst.nulls() == frozenset({Null(1)})
+
+
+class TestFormulas:
+    def test_precedence_and_binds_tighter_than_or(self):
+        formula = parse_formula("P(x) | Q(x) & R(x)")
+        assert isinstance(formula, Or)
+
+    def test_implication_is_right_associative(self):
+        formula = parse_formula("P(x) -> Q(x) -> R(x)")
+        # a -> (b -> c)
+        assert isinstance(formula, Or)
+        assert isinstance(formula.parts[0], Not)
+
+    def test_quantifier_scope_extends_right(self):
+        formula = parse_formula("exists x . P(x) & Q(x)")
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.body, And)
+
+    def test_parenthesized(self):
+        formula = parse_formula("(P(x) | Q(x)) & R(x)")
+        assert isinstance(formula, And)
+
+    def test_multi_variable_quantifier(self):
+        formula = parse_formula("forall x, y . E(x, y)")
+        assert isinstance(formula, Forall)
+        assert len(formula.variables) == 2
+
+    def test_negation_symbols(self):
+        assert isinstance(parse_formula("~P(x)"), Not)
+        assert isinstance(parse_formula("not P(x)"), Not)
+
+    def test_equality_and_inequality(self):
+        assert isinstance(parse_formula("x = y"), Equality)
+        inequality = parse_formula("x != y")
+        assert isinstance(inequality, Not)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("P(x) P(y)")
+
+    def test_unicode_connectives(self):
+        formula = parse_formula("P(x) ∧ Q(x) ∨ ¬R(x)")
+        assert isinstance(formula, Or)
+
+
+class TestQueries:
+    def test_cq(self):
+        query = parse_query("Q(x) :- E(x, y)")
+        assert isinstance(query, ConjunctiveQuery)
+        assert query.arity == 1
+
+    def test_cq_with_inequality(self):
+        query = parse_query("Q(x) :- E(x, y), x != y")
+        assert query.inequalities == ((Variable("x"), Variable("y")),)
+
+    def test_boolean_query(self):
+        query = parse_query("Q() :- E(x, y)")
+        assert query.is_boolean
+
+    def test_ucq(self):
+        query = parse_query("Q(x) :- E(x, y) ; Q(x) :- E(y, x)")
+        assert isinstance(query, UnionOfConjunctiveQueries)
+        assert len(query.disjuncts) == 2
+
+    def test_fo_query(self):
+        query = parse_query("Q(x) := P(x) & ~exists y . E(x, y)")
+        assert isinstance(query, FirstOrderQuery)
+
+    def test_fo_query_cannot_be_unioned(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) := P(x) ; Q(x) := R(x)")
+
+    def test_equality_not_allowed_in_cq_body(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- E(x, y), x = y")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("  ")
+
+    def test_ampersand_also_separates_body(self):
+        query = parse_query("Q(x) :- E(x, y) & E(y, z)")
+        assert len(query.body) == 2

@@ -1,0 +1,150 @@
+"""Tests for CWA-presolution recognition (Definition 4.6)."""
+
+import pytest
+
+from repro.chase import ChaseStatus, alpha_chase
+from repro.core import Instance, Schema, isomorphic
+from repro.cwa import find_alpha, is_cwa_presolution
+from repro.exchange import DataExchangeSetting
+from repro.logic import parse_instance
+
+
+class TestExample21:
+    def test_t2_is_presolution(self, setting_2_1, source_2_1, solutions_2_1):
+        _, t2, _ = solutions_2_1
+        assert is_cwa_presolution(setting_2_1, source_2_1, t2)
+
+    def test_t3_is_presolution(self, setting_2_1, source_2_1, solutions_2_1):
+        _, _, t3 = solutions_2_1
+        assert is_cwa_presolution(setting_2_1, source_2_1, t3)
+
+    def test_t1_is_not_presolution(self, setting_2_1, source_2_1, solutions_2_1):
+        # T1 contains E(c, ⊥2), which no justification produces.
+        t1, _, _ = solutions_2_1
+        assert not is_cwa_presolution(setting_2_1, source_2_1, t1)
+
+    def test_example_4_9_t_prime_is_presolution_but_not_solution_check(
+        self, setting_2_1, source_2_1
+    ):
+        """T' = {E(a,b), F(a,⊥), G(⊥,b)} is a CWA-presolution: the
+        justification (d3, ⊥, a) may map its z to the constant b."""
+        t_prime = parse_instance("E('a','b'), F('a',#1), G(#1,'b')")
+        assert is_cwa_presolution(setting_2_1, source_2_1, t_prime)
+
+    def test_example_4_9_t_double_prime_not_presolution(
+        self, setting_2_1, source_2_1
+    ):
+        """T'' has the unjustified atom E(⊥3, b)."""
+        t = parse_instance("E('a','b'), E(#3,'b'), F('b',#1), G(#1,#2)")
+        assert not is_cwa_presolution(setting_2_1, source_2_1, t)
+
+    def test_missing_atoms_rejected(self, setting_2_1, source_2_1):
+        # The empty target is no solution (d1 forces E(a,b)).
+        assert not is_cwa_presolution(setting_2_1, source_2_1, Instance())
+
+    def test_violating_egd_rejected(self, setting_2_1, source_2_1):
+        t = parse_instance(
+            "E('a','b'), F('a',#1), F('a',#2), G(#1,#3), G(#2,#4)"
+        )
+        assert not is_cwa_presolution(setting_2_1, source_2_1, t)
+
+
+class TestFindAlphaRoundtrip:
+    def test_returned_alpha_reproduces_target(
+        self, setting_2_1, source_2_1, solutions_2_1
+    ):
+        """find_alpha's witness drives an actual successful α-chase whose
+        result is exactly S ∪ T."""
+        _, t2, t3 = solutions_2_1
+        for target in (t2, t3):
+            alpha = find_alpha(setting_2_1, source_2_1, target)
+            assert alpha is not None
+            outcome = alpha_chase(
+                source_2_1, list(setting_2_1.all_dependencies), alpha
+            )
+            assert outcome.successful
+            assert outcome.instance == source_2_1.union(target)
+
+    def test_none_for_non_presolution(self, setting_2_1, source_2_1, solutions_2_1):
+        t1, _, _ = solutions_2_1
+        assert find_alpha(setting_2_1, source_2_1, t1) is None
+
+
+class TestWitnessChoices:
+    @pytest.fixture
+    def chain_setting(self):
+        return DataExchangeSetting.from_strings(
+            Schema.of(P=1),
+            Schema.of(A=2, B=1),
+            ["P(x) -> exists z . A(x, z)"],
+            ["A(x, z) -> B(z)"],
+        )
+
+    def test_null_witness(self, chain_setting):
+        source = parse_instance("P('a')")
+        target = parse_instance("A('a', #1), B(#1)")
+        assert is_cwa_presolution(chain_setting, source, target)
+
+    def test_constant_witness(self, chain_setting):
+        # α may map the existential to the constant a itself.
+        source = parse_instance("P('a')")
+        target = parse_instance("A('a', 'a'), B('a')")
+        assert is_cwa_presolution(chain_setting, source, target)
+
+    def test_extra_unjustified_atom_rejected(self, chain_setting):
+        source = parse_instance("P('a')")
+        target = parse_instance("A('a', #1), B(#1), B(#7)")
+        assert not is_cwa_presolution(chain_setting, source, target)
+
+    def test_two_justifications_may_share_a_witness(self):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(P=1, Q=1),
+            Schema.of(A=2),
+            ["P(x) -> exists z . A(x, z)", "Q(x) -> exists z . A(x, z)"],
+        )
+        source = parse_instance("P('a'), Q('a')")
+        shared = parse_instance("A('a', #1)")
+        separate = parse_instance("A('a', #1), A('a', #2)")
+        assert is_cwa_presolution(setting, source, shared)
+        assert is_cwa_presolution(setting, source, separate)
+
+    def test_full_tgds_have_no_choice(self):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(E=2),
+            Schema.of(F=2, G=2),
+            ["E(x, y) -> F(x, y)"],
+            ["F(x, y) -> G(y, x)"],
+        )
+        source = parse_instance("E('a','b')")
+        good = parse_instance("F('a','b'), G('b','a')")
+        incomplete = parse_instance("F('a','b')")
+        assert is_cwa_presolution(setting, source, good)
+        assert not is_cwa_presolution(setting, source, incomplete)
+
+
+class TestCwa2Enforcement:
+    def test_one_justification_cannot_generate_two_values(self):
+        """CWA2: {A(a,⊥1), A(a,⊥2)} from a single justification is
+        rejected -- one justification, one value."""
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(P=1),
+            Schema.of(A=2),
+            ["P(x) -> exists z . A(x, z)"],
+        )
+        source = parse_instance("P('a')")
+        doubled = parse_instance("A('a', #1), A('a', #2)")
+        assert not is_cwa_presolution(setting, source, doubled)
+
+    def test_distinct_justifications_from_y_tuples(self):
+        """(d, ū, v̄) with different v̄ are DIFFERENT justifications, so
+        N(a,b) and N(a,c) may produce two F-atoms (cf. Example 4.4)."""
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(N=2),
+            Schema.of(F=2),
+            ["N(x, y) -> exists z . F(x, z)"],
+        )
+        source = parse_instance("N('a','b'), N('a','c')")
+        two = parse_instance("F('a',#1), F('a',#2)")
+        three = parse_instance("F('a',#1), F('a',#2), F('a',#3)")
+        assert is_cwa_presolution(setting, source, two)
+        assert not is_cwa_presolution(setting, source, three)

@@ -1,0 +1,171 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check the paper's structural theorems on randomly generated
+settings and instances, not just the worked examples.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase import satisfies_all, standard_chase
+from repro.core import Atom, Const, Instance, RelationSymbol, Schema
+from repro.cwa import core_solution, is_cwa_presolution, is_cwa_solution
+from repro.exchange import DataExchangeSetting
+from repro.homomorphism import core, has_homomorphism
+
+M = RelationSymbol("M", 2)
+N = RelationSymbol("N", 2)
+
+SIGMA = Schema.of(M=2, N=2)
+TAU = Schema.of(E=2, F=2, G=2)
+
+# A pool of weakly acyclic settings over (SIGMA, TAU).
+SETTING_POOL = [
+    DataExchangeSetting.from_strings(
+        SIGMA, TAU,
+        ["M(x, y) -> E(x, y)",
+         "N(x, y) -> exists z1, z2 . E(x, z1) & F(x, z2)"],
+        ["F(y, x) -> exists z . G(x, z)",
+         "F(x, y) & F(x, z) -> y = z"],
+    ),
+    DataExchangeSetting.from_strings(
+        SIGMA, TAU,
+        ["M(x, y) -> exists z . E(x, z)", "N(x, y) -> F(x, y)"],
+        ["E(x, y) & E(x, z) -> y = z"],
+    ),
+    DataExchangeSetting.from_strings(
+        SIGMA, TAU,
+        ["M(x, y) -> E(x, y)", "N(x, y) -> F(y, x)"],
+        ["E(x, y) -> G(x, y)", "F(x, y) -> G(y, x)"],
+    ),
+    DataExchangeSetting.from_strings(
+        SIGMA, TAU,
+        ["M(x, y) -> exists z . F(x, z)"],
+        ["F(x, y) -> exists w . G(y, w)", "G(x, y) & G(x, z) -> y = z"],
+    ),
+]
+
+
+@st.composite
+def source_instances(draw):
+    pool = [Const(name) for name in "abcd"]
+    m_atoms = draw(
+        st.lists(
+            st.tuples(st.sampled_from(pool), st.sampled_from(pool)).map(
+                lambda p: Atom(M, p)
+            ),
+            max_size=4,
+        )
+    )
+    n_atoms = draw(
+        st.lists(
+            st.tuples(st.sampled_from(pool), st.sampled_from(pool)).map(
+                lambda p: Atom(N, p)
+            ),
+            max_size=4,
+        )
+    )
+    return Instance(m_atoms + n_atoms)
+
+
+@st.composite
+def setting_and_source(draw):
+    setting = draw(st.sampled_from(SETTING_POOL))
+    source = draw(source_instances())
+    return setting, source
+
+
+@given(setting_and_source())
+@settings(max_examples=30, deadline=None)
+def test_chase_result_is_a_solution(case):
+    """Standard chase success ⟹ the τ-reduct is a solution."""
+    setting, source = case
+    canonical = setting.canonical_universal_solution(source)
+    if canonical is not None:
+        assert setting.is_solution(source, canonical)
+
+
+@given(setting_and_source())
+@settings(max_examples=30, deadline=None)
+def test_core_is_cwa_solution_theorem_5_1(case):
+    """Theorem 5.1 on random weakly acyclic inputs."""
+    setting, source = case
+    minimal = core_solution(setting, source)
+    if minimal is not None:
+        assert is_cwa_solution(setting, source, minimal)
+
+
+@given(setting_and_source())
+@settings(max_examples=30, deadline=None)
+def test_corollary_5_2(case):
+    """CWA-solutions exist iff universal solutions exist iff core exists."""
+    setting, source = case
+    canonical = setting.canonical_universal_solution(source)
+    minimal = core_solution(setting, source)
+    assert (canonical is None) == (minimal is None)
+
+
+@given(setting_and_source())
+@settings(max_examples=20, deadline=None)
+def test_canonical_hom_equivalent_to_core(case):
+    setting, source = case
+    canonical = setting.canonical_universal_solution(source)
+    if canonical is None:
+        return
+    minimal = core(canonical)
+    assert has_homomorphism(canonical, minimal)
+    assert has_homomorphism(minimal, canonical)
+
+
+@given(setting_and_source())
+@settings(max_examples=15, deadline=None)
+def test_lemma_7_7_on_random_inputs(case):
+    """UCQ certain answers: naive null-free evaluation on the core equals
+    □Q(core).
+
+    The exact □-sweep enumerates canonical valuations, which explodes
+    combinatorially in the null count; inputs whose core carries more
+    than 4 nulls are skipped (the law is size-independent, so small
+    cores exercise it fully).
+    """
+    from hypothesis import assume
+
+    from repro.answering.valuations import certain_on
+    from repro.logic import parse_query
+
+    setting, source = case
+    minimal = core_solution(setting, source)
+    if minimal is None:
+        return
+    assume(len(minimal.nulls()) <= 4)
+    query = parse_query("Q(x) :- E(x, y) ; Q(x) :- F(x, y) ; Q(x) :- G(x, y)")
+    naive = query.certain_part(minimal)
+    boxed = certain_on(query, minimal, setting.target_dependencies)
+    assert naive == boxed
+
+
+@given(setting_and_source())
+@settings(max_examples=15, deadline=None)
+def test_chase_result_satisfies_everything(case):
+    setting, source = case
+    outcome = standard_chase(source, list(setting.all_dependencies))
+    if outcome.successful:
+        assert satisfies_all(outcome.instance, setting.all_dependencies)
+
+
+@given(setting_and_source())
+@settings(max_examples=10, deadline=None)
+def test_theorem_4_8_random(case):
+    """CWA-solution == universal ∧ presolution, on the core and on the
+    canonical solution."""
+    setting, source = case
+    canonical = setting.canonical_universal_solution(source)
+    if canonical is None:
+        return
+    for candidate in (core(canonical),):
+        left = is_cwa_solution(setting, source, candidate)
+        right = setting.is_universal_solution(
+            source, candidate
+        ) and is_cwa_presolution(setting, source, candidate)
+        assert left == right

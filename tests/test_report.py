@@ -1,0 +1,76 @@
+"""Tests for exchange reports and DOT export."""
+
+import pytest
+
+from repro.core import Schema
+from repro.dependencies import dependency_graph, parse_dependencies
+from repro.dependencies.graph import to_dot
+from repro.exchange import DataExchangeSetting, render, report
+from repro.logic import parse_instance
+
+
+class TestReport:
+    def test_solved_report(self, setting_2_1, source_2_1):
+        exchange_report = report(setting_2_1, source_2_1)
+        assert exchange_report.status == "solved"
+        text = render(exchange_report)
+        assert "richly acyclic" in text
+        assert "chase: success in 3 steps" in text
+        assert "core (minimal CWA-solution): 3 atoms" in text
+        assert "null justifications" in text
+
+    def test_justifications_cover_core_nulls(self, setting_2_1, source_2_1):
+        exchange_report = report(setting_2_1, source_2_1)
+        produced = " ".join(p for _, p in exchange_report.justifications)
+        for null in exchange_report.result.core_solution.nulls():
+            assert str(null) in produced
+
+    def test_no_solution_report(self):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        source = parse_instance("Src('a','b'), Src('a','c')")
+        exchange_report = report(setting, source)
+        assert exchange_report.status == "no solution"
+        assert "FAILED" in render(exchange_report)
+
+    def test_diverged_report(self):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(S0=2),
+            Schema.of(E=2),
+            ["S0(x, y) -> E(x, y)"],
+            ["E(x, y) -> exists z . E(y, z)"],
+        )
+        source = parse_instance("S0('a','b')")
+        exchange_report = report(setting, source, max_steps=50)
+        assert exchange_report.status == "diverged"
+        text = render(exchange_report)
+        assert "DIVERGED" in text
+        assert "NOT weakly acyclic" in text
+
+    def test_restricted_class_mentioned(self, setting_egd_only):
+        source = parse_instance("Emp('e1','d1')")
+        text = render(report(setting_egd_only, source))
+        assert "egds only" in text
+
+
+class TestDotExport:
+    def test_edges_rendered(self):
+        deps = parse_dependencies(["E(x, y) -> exists z . F(y, z)"])
+        dot = to_dot(dependency_graph(deps))
+        assert dot.startswith("digraph")
+        assert '"E.2" -> "F.1";' in dot  # regular edge, 1-based positions
+        assert "style=dashed" in dot  # the existential edge
+
+    def test_extended_graph_has_more_dashed_edges(self):
+        deps = parse_dependencies(["E(x, y) -> exists z . F(x, z)"])
+        plain = to_dot(dependency_graph(deps))
+        extended = to_dot(dependency_graph(deps, extended=True))
+        assert extended.count("dashed") > plain.count("dashed")
+
+    def test_empty_graph(self):
+        dot = to_dot(dependency_graph([]))
+        assert dot.startswith("digraph") and dot.endswith("}")

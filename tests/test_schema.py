@@ -1,0 +1,87 @@
+"""Unit tests for schemas and relation symbols."""
+
+import pytest
+
+from repro.core import RelationSymbol, Schema, SchemaError
+
+
+class TestRelationSymbol:
+    def test_equality(self):
+        assert RelationSymbol("R", 2) == RelationSymbol("R", 2)
+        assert RelationSymbol("R", 2) != RelationSymbol("R", 3)
+        assert RelationSymbol("R", 2) != RelationSymbol("S", 2)
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", -1)
+
+    def test_primed(self):
+        assert RelationSymbol("R", 2).primed() == RelationSymbol("R_t", 2)
+
+    def test_str(self):
+        assert str(RelationSymbol("R", 2)) == "R/2"
+
+    def test_sortable(self):
+        symbols = sorted([RelationSymbol("B", 1), RelationSymbol("A", 2)])
+        assert symbols[0].name == "A"
+
+
+class TestSchema:
+    def test_of_constructor(self):
+        schema = Schema.of(E=2, P=1)
+        assert schema["E"].arity == 2
+        assert schema["P"].arity == 1
+
+    def test_len_and_iter(self):
+        schema = Schema.of(E=2, P=1)
+        assert len(schema) == 2
+        assert [s.name for s in schema] == ["E", "P"]
+
+    def test_contains_by_name_and_symbol(self):
+        schema = Schema.of(E=2)
+        assert "E" in schema
+        assert RelationSymbol("E", 2) in schema
+        assert RelationSymbol("E", 3) not in schema
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of(E=2)["F"]
+
+    def test_get_returns_none(self):
+        assert Schema.of(E=2).get("F") is None
+
+    def test_conflicting_arities_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([RelationSymbol("R", 1), RelationSymbol("R", 2)])
+
+    def test_union(self):
+        joint = Schema.of(E=2) | Schema.of(F=1)
+        assert "E" in joint and "F" in joint
+
+    def test_union_conflict_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(E=2) | Schema.of(E=3)
+
+    def test_disjointness(self):
+        assert Schema.of(E=2).disjoint_from(Schema.of(F=2))
+        assert not Schema.of(E=2).disjoint_from(Schema.of(E=2))
+
+    def test_primed_schema(self):
+        primed = Schema.of(E=2, P=1).primed()
+        assert sorted(primed.names) == ["E_t", "P_t"]
+
+    def test_positions(self):
+        positions = Schema.of(E=2, P=1).positions()
+        assert len(positions) == 3
+        assert (RelationSymbol("E", 2), 0) in positions
+        assert (RelationSymbol("E", 2), 1) in positions
+        assert (RelationSymbol("P", 1), 0) in positions
+
+    def test_from_mapping(self):
+        schema = Schema.from_mapping({"R": 3})
+        assert schema["R"].arity == 3
+
+    def test_equality_and_hash(self):
+        assert Schema.of(E=2) == Schema.of(E=2)
+        assert hash(Schema.of(E=2)) == hash(Schema.of(E=2))
+        assert Schema.of(E=2) != Schema.of(E=3)

@@ -1,0 +1,140 @@
+"""Tests for the four CWA answer semantics (Section 7.1, Theorem 7.1,
+Corollary 7.2)."""
+
+import pytest
+
+from repro.answering import (
+    NoCwaSolutionError,
+    all_four_semantics,
+    answers_over_space,
+    certain_answers,
+    maybe_answers,
+    persistent_maybe_answers,
+    potential_certain_answers,
+)
+from repro.core import Const, Schema
+from repro.cwa import enumerate_cwa_solutions
+from repro.exchange import DataExchangeSetting
+from repro.logic import parse_instance, parse_query
+
+
+class TestExample21Semantics:
+    def test_certain_answers_via_core(self, setting_2_1, source_2_1):
+        query = parse_query("Q(x, y) :- E(x, y)")
+        answers = certain_answers(setting_2_1, source_2_1, query)
+        # Only E(a,b) is certain; E(a,⊥) could be anything.
+        assert answers == frozenset({(Const("a"), Const("b"))})
+
+    def test_boolean_fact_queries(self, setting_2_1, source_2_1):
+        definitely = parse_query("Q() :- E('a', 'b')")
+        assert certain_answers(setting_2_1, source_2_1, definitely)
+        chain = parse_query("Q() :- F('a', u), G(u, w)")
+        assert certain_answers(setting_2_1, source_2_1, chain)
+        wrong = parse_query("Q() :- G('a', u)")
+        assert not certain_answers(setting_2_1, source_2_1, wrong)
+
+    def test_chain_inclusion_corollary_7_2(self, setting_2_1, source_2_1):
+        solutions = enumerate_cwa_solutions(setting_2_1, source_2_1)
+        queries = [
+            parse_query("Q(x) :- E(x, y)"),
+            parse_query("Q(x) :- E(y, x)"),
+            parse_query("Q(x, y) :- F(x, y)"),
+            parse_query("Q() :- E(x, y), F(x, z), y != z"),
+        ]
+        for query in queries:
+            results = all_four_semantics(
+                setting_2_1, source_2_1, query, solutions=solutions
+            )
+            assert results["certain"] <= results["potential_certain"]
+            assert results["potential_certain"] <= results["persistent_maybe"]
+            assert results["persistent_maybe"] <= results["maybe"]
+
+    def test_fast_paths_match_direct_definition(self, setting_2_1, source_2_1):
+        """Theorem 7.1: certain□ and maybe□ via the core equal the
+        intersection over the whole enumerated CWA-solution space."""
+        solutions = enumerate_cwa_solutions(setting_2_1, source_2_1)
+        tdeps = setting_2_1.target_dependencies
+        query = parse_query("Q(x) :- E(x, y)")
+        assert certain_answers(setting_2_1, source_2_1, query) == (
+            answers_over_space(query, solutions, tdeps, "certain")
+        )
+        assert persistent_maybe_answers(setting_2_1, source_2_1, query) == (
+            answers_over_space(query, solutions, tdeps, "persistent_maybe")
+        )
+
+
+class TestTheorem71Sandwich:
+    """Theorem 7.1's middle claims: for EVERY CWA-solution T,
+    certain◇ ⊇ □Q(T) and maybe□ ⊆ ◇Q(T)."""
+
+    def test_sandwich_on_every_solution(self, setting_2_1, source_2_1):
+        from repro.answering.valuations import certain_on, maybe_on
+
+        solutions = enumerate_cwa_solutions(setting_2_1, source_2_1)
+        tdeps = setting_2_1.target_dependencies
+        for text in ("Q(x) :- E(x, y)", "Q(x, y) :- F(x, y)"):
+            query = parse_query(text)
+            potential = potential_certain_answers(
+                setting_2_1, source_2_1, query, solutions=solutions
+            )
+            persistent = persistent_maybe_answers(
+                setting_2_1, source_2_1, query
+            )
+            for solution in solutions:
+                assert certain_on(query, solution, tdeps) <= potential
+                assert persistent <= maybe_on(query, solution, tdeps)
+
+
+class TestRestrictedClassFastPath:
+    def test_egd_only_setting(self, setting_egd_only):
+        source = parse_instance("Emp('e1','d1'), Emp('e2','d1')")
+        solutions = enumerate_cwa_solutions(setting_egd_only, source)
+        tdeps = setting_egd_only.target_dependencies
+        query = parse_query("Q(d) :- Dept(d, m)")
+        fast = potential_certain_answers(setting_egd_only, source, query)
+        direct = answers_over_space(
+            query, solutions, tdeps, "potential_certain"
+        )
+        assert fast == direct
+        fast_maybe = maybe_answers(setting_egd_only, source, query)
+        direct_maybe = answers_over_space(query, solutions, tdeps, "maybe")
+        assert fast_maybe == direct_maybe
+
+    def test_full_tgd_setting_all_semantics_coincide(self, setting_full_tgd):
+        source = parse_instance("Edge('a','b'), Edge('b','c'), Start('a')")
+        query = parse_query("Q(x) :- Reach(x)")
+        results = all_four_semantics(setting_full_tgd, source, query)
+        expected = frozenset({(Const("a"),), (Const("b"),), (Const("c"),)})
+        assert all(value == expected for value in results.values())
+
+
+class TestNoSolution:
+    def test_raises_without_solutions(self):
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        source = parse_instance("Src('a','b'), Src('a','c')")
+        query = parse_query("Q(x) :- Tgt(x, y)")
+        with pytest.raises(NoCwaSolutionError):
+            certain_answers(setting, source, query)
+        with pytest.raises(NoCwaSolutionError):
+            maybe_answers(setting, source, query)
+
+
+class TestAgainstAnomalies:
+    def test_copying_setting_all_semantics_equal_naive(self):
+        """For copying settings S_CWA = {T*} and Rep = {T*}: all four
+        semantics equal Q evaluated on the copy (Section 7.1)."""
+        from repro.exchange import copy_instance, copying_setting
+
+        sigma = Schema.of(E=2, P=1)
+        setting = copying_setting(sigma)
+        source = parse_instance("E('a','b'), E('b','a'), P('a')")
+        copied = copy_instance(source, sigma)
+        query = parse_query("Q(x) :- E_t(x, y), P_t(y)")
+        results = all_four_semantics(setting, source, query)
+        expected = query.evaluate(copied)
+        assert all(value == expected for value in results.values())

@@ -1,0 +1,101 @@
+"""Tests for D_emb and Example 6.1."""
+
+import pytest
+
+from repro.chase import standard_chase
+from repro.core import Const
+from repro.homomorphism import find_homomorphism
+from repro.reductions.semigroup import (
+    d_emb_setting,
+    encode_partial_function,
+    example_6_1_source,
+    instance_as_table,
+    is_associative_total,
+    modular_addition_solution,
+    refute_cwa_solution,
+    successor_chain,
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return d_emb_setting()
+
+
+@pytest.fixture(scope="module")
+def source():
+    return example_6_1_source()
+
+
+class TestSetting:
+    def test_shape(self, setting):
+        assert len(setting.st_dependencies) == 1
+        # d_func, d_assoc, and nine d_total conjuncts.
+        assert len(setting.target_dependencies) == 11
+        assert len(setting.target_egds) == 1
+        assert len(setting.target_tgds) == 10
+
+    def test_not_weakly_acyclic(self, setting):
+        assert not setting.is_weakly_acyclic
+
+    def test_source_encoding(self):
+        source = encode_partial_function({("0", "1"): "1", ("1", "1"): "0"})
+        assert len(source) == 2
+
+
+class TestModularSolutions:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_is_solution(self, setting, source, k):
+        assert setting.is_solution(source, modular_addition_solution(k))
+
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_encodes_a_semigroup(self, k):
+        target = modular_addition_solution(k)
+        table = instance_as_table(target)
+        domain = [str(i) for i in range(k + 2)]
+        assert is_associative_total(table, domain)
+
+    def test_extends_the_partial_function(self):
+        table = instance_as_table(modular_addition_solution(2))
+        assert table[("0", "1")] == "1"
+
+    def test_successor_chain_of_modular_solution(self):
+        # In Z_4: 0 -> 1 -> 2 -> 3 -> 0; the chain stops on repetition.
+        chain = successor_chain(modular_addition_solution(2))
+        assert [str(v) for v in chain] == ["1", "2", "3", "0"]
+
+
+class TestExample61:
+    """S = {R(0,1,1)} has solutions but no CWA-solution."""
+
+    def test_no_homomorphism_between_different_moduli(self):
+        # Z_{k+2} has a (k+2)-cycle under +1; Z_{k+3}'s chain is longer,
+        # so the shorter cycle cannot map into it (constants are rigid
+        # and distinct cycles of different length are incompatible).
+        small = modular_addition_solution(0)  # Z_2
+        large = modular_addition_solution(3)  # Z_5
+        assert find_homomorphism(small, large) is None
+
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_refutation_executes_papers_argument(self, setting, source, k):
+        """Each candidate finite solution is refuted: its successor
+        chain closes into a cycle that cannot map into Z_{chain+2}."""
+        candidate = modular_addition_solution(k)
+        assert setting.is_solution(source, candidate)
+        explanation = refute_cwa_solution(candidate)
+        assert explanation is not None
+        assert "not universal" in explanation
+
+    def test_standard_chase_diverges(self, setting, source):
+        """d_total keeps inventing products: the chase never stops, so
+        no universal solution is ever produced this way."""
+        outcome = standard_chase(
+            source, list(setting.all_dependencies), max_steps=400
+        )
+        assert outcome.diverged
+
+    def test_kolaitis_reduction_has_solution_here(self, setting, source):
+        """The contrast of Example 6.1/Remark 6.3: Existence-of-Solutions
+        is answered 'yes' by the mod tables, while the CWA variant is
+        'no' -- the two reductions are genuinely different."""
+        assert setting.is_solution(source, modular_addition_solution(1))

@@ -1,0 +1,149 @@
+"""Tests for DataExchangeSetting validation and solution checking."""
+
+import pytest
+
+from repro.core import DependencyError, Instance, Null, Schema, SchemaError, atom, RelationSymbol
+from repro.exchange import (
+    DataExchangeSetting,
+    copy_instance,
+    copying_setting,
+    copying_setting_with_domain,
+)
+from repro.logic import parse_instance
+
+
+class TestConstruction:
+    def test_schemas_must_be_disjoint(self):
+        with pytest.raises(SchemaError):
+            DataExchangeSetting(Schema.of(E=2), Schema.of(E=2), [])
+
+    def test_st_premise_must_be_source(self):
+        with pytest.raises(DependencyError):
+            DataExchangeSetting.from_strings(
+                Schema.of(M=2), Schema.of(E=2), ["E(x, y) -> E(x, y)"]
+            )
+
+    def test_st_conclusion_must_be_target(self):
+        with pytest.raises(DependencyError):
+            DataExchangeSetting.from_strings(
+                Schema.of(M=2), Schema.of(E=2), ["M(x, y) -> M(x, y)"]
+            )
+
+    def test_target_dependency_must_be_target_only(self):
+        from repro.core import ParseError
+
+        with pytest.raises((DependencyError, ParseError)):
+            DataExchangeSetting.from_strings(
+                Schema.of(M=2),
+                Schema.of(E=2),
+                ["M(x, y) -> E(x, y)"],
+                ["M(x, y) -> E(x, y)"],
+            )
+
+    def test_egd_in_st_rejected(self):
+        with pytest.raises(DependencyError):
+            DataExchangeSetting.from_strings(
+                Schema.of(M=2),
+                Schema.of(E=2),
+                ["M(x, y) & M(x, z) -> y = z"],
+            )
+
+    def test_unknown_relation_rejected(self):
+        from repro.core import ParseError
+
+        with pytest.raises(ParseError):
+            DataExchangeSetting.from_strings(
+                Schema.of(M=2), Schema.of(E=2), ["Q(x, y) -> E(x, y)"]
+            )
+
+    def test_shape_properties(self, setting_2_1, setting_egd_only, setting_full_tgd):
+        assert not setting_2_1.target_dependencies_are_egds_only
+        assert setting_egd_only.target_dependencies_are_egds_only
+        assert setting_full_tgd.is_full_and_egd_setting
+        assert not setting_2_1.is_full_and_egd_setting
+
+    def test_joint_schema(self, setting_2_1):
+        assert len(setting_2_1.joint_schema) == 5
+
+    def test_tgd_egd_split(self, setting_2_1):
+        assert len(setting_2_1.target_tgds) == 1
+        assert len(setting_2_1.target_egds) == 1
+        assert len(setting_2_1.tgds) == 3
+
+
+class TestInstanceValidation:
+    def test_source_with_target_relation_rejected(self, setting_2_1):
+        bad = parse_instance("E('a','b')")
+        with pytest.raises(SchemaError):
+            setting_2_1.validate_source(bad)
+
+    def test_source_with_nulls_rejected(self, setting_2_1):
+        E = RelationSymbol("M", 2)
+        bad = Instance([atom(E, "a", Null(0))])
+        with pytest.raises(SchemaError):
+            setting_2_1.validate_source(bad)
+
+    def test_target_with_source_relation_rejected(self, setting_2_1):
+        bad = parse_instance("M('a','b')")
+        with pytest.raises(SchemaError):
+            setting_2_1.validate_target(bad)
+
+    def test_target_nulls_allowed(self, setting_2_1):
+        setting_2_1.validate_target(parse_instance("E('a', #1)"))
+
+
+class TestIsSolution:
+    def test_paper_solutions(self, setting_2_1, source_2_1, solutions_2_1):
+        for target in solutions_2_1:
+            assert setting_2_1.is_solution(source_2_1, target)
+
+    def test_missing_required_atom(self, setting_2_1, source_2_1):
+        assert not setting_2_1.is_solution(
+            source_2_1, parse_instance("E('a','b')")
+        )
+
+    def test_egd_violation(self, setting_2_1, source_2_1):
+        bad = parse_instance(
+            "E('a','b'), F('a',#1), F('a',#2), G(#1,#3), G(#2,#4)"
+        )
+        assert not setting_2_1.is_solution(source_2_1, bad)
+
+    def test_universal_solutions(self, setting_2_1, source_2_1, solutions_2_1):
+        t1, t2, t3 = solutions_2_1
+        assert not setting_2_1.is_universal_solution(source_2_1, t1)
+        assert setting_2_1.is_universal_solution(source_2_1, t2)
+        assert setting_2_1.is_universal_solution(source_2_1, t3)
+
+
+class TestCopyingSettings:
+    def test_structure(self):
+        setting = copying_setting(Schema.of(E=2, P=1))
+        assert len(setting.st_dependencies) == 2
+        assert not setting.has_target_constraints
+        assert setting.is_richly_acyclic
+
+    def test_copy_instance_is_solution(self):
+        sigma = Schema.of(E=2, P=1)
+        setting = copying_setting(sigma)
+        source = parse_instance("E('a','b'), P('a')")
+        copied = copy_instance(source, sigma)
+        assert setting.is_solution(source, copied)
+        assert setting.is_universal_solution(source, copied)
+
+    def test_copy_is_the_only_cwa_solution(self):
+        from repro.cwa import enumerate_cwa_solutions
+        from repro.core import isomorphic
+
+        sigma = Schema.of(P=1)
+        setting = copying_setting(sigma)
+        source = parse_instance("P('a'), P('b')")
+        solutions = enumerate_cwa_solutions(setting, source)
+        assert len(solutions) == 1
+        assert isomorphic(solutions[0], copy_instance(source, sigma))
+
+    def test_domain_extension(self):
+        setting = copying_setting_with_domain(Schema.of(E=2))
+        source = parse_instance("E('a','b')")
+        canonical = setting.canonical_universal_solution(source)
+        dom_atoms = canonical.atoms_of("Dom")
+        assert {a.args[0].name for a in dom_atoms} == {"a", "b"}

@@ -1,0 +1,92 @@
+"""Tests for the end-to-end solve driver and the existence problem."""
+
+import pytest
+
+from repro.core import ChaseDivergence, Instance, isomorphic
+from repro.exchange import existence_of_cwa_solutions, solve
+from repro.generators import chain_setting, chain_source
+from repro.logic import parse_instance
+
+
+class TestSolve:
+    def test_example_2_1(self, setting_2_1, source_2_1, solutions_2_1):
+        result = solve(setting_2_1, source_2_1)
+        assert result.cwa_solution_exists
+        _, _, t3 = solutions_2_1
+        assert isomorphic(result.core_solution, t3)
+        assert len(result.canonical_solution) == 4
+        assert result.chase_steps > 0
+
+    def test_core_skippable(self, setting_2_1, source_2_1):
+        result = solve(setting_2_1, source_2_1, compute_core=False)
+        assert result.core_solution is None
+        assert result.canonical_solution is not None
+
+    def test_failure_reported(self):
+        from repro.core import Schema
+        from repro.exchange import DataExchangeSetting
+
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        source = parse_instance("Src('a','b'), Src('a','c')")
+        result = solve(setting, source)
+        assert not result.cwa_solution_exists
+        assert result.canonical_solution is None
+        assert result.cwa_solution is None
+
+    def test_divergence_raises(self):
+        from repro.core import Schema
+        from repro.exchange import DataExchangeSetting
+
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(S0=2),
+            Schema.of(E=2),
+            ["S0(x, y) -> E(x, y)"],
+            ["E(x, y) -> exists z . E(y, z)"],
+        )
+        source = parse_instance("S0('a','b')")
+        with pytest.raises(ChaseDivergence):
+            solve(setting, source, max_steps=100)
+
+    def test_chain_setting_scales(self):
+        setting = chain_setting(5)
+        source = chain_source(4)
+        result = solve(setting, source)
+        assert result.cwa_solution_exists
+        # Each hop materializes at least one atom per chain relation.
+        for level in range(1, 6):
+            assert result.canonical_solution.count_of(f"R{level}") >= 1
+
+
+class TestExistence:
+    def test_positive(self, setting_2_1, source_2_1):
+        assert existence_of_cwa_solutions(setting_2_1, source_2_1)
+
+    def test_negative(self):
+        from repro.core import Schema
+        from repro.exchange import DataExchangeSetting
+
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        source = parse_instance("Src('a','b'), Src('a','c')")
+        assert not existence_of_cwa_solutions(setting, source)
+
+    def test_agrees_with_corollary_5_2(self, setting_2_1, source_2_1):
+        """Existence of CWA-solutions == existence of universal
+        solutions == existence of the core (Corollary 5.2)."""
+        from repro.cwa import core_solution, cwa_solution_exists
+
+        direct = existence_of_cwa_solutions(setting_2_1, source_2_1)
+        via_universal = setting_2_1.universal_solution_exists(source_2_1)
+        via_core = core_solution(setting_2_1, source_2_1) is not None
+        assert direct == via_universal == via_core == cwa_solution_exists(
+            setting_2_1, source_2_1
+        )

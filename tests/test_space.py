@@ -1,0 +1,93 @@
+"""Tests for the SolutionSpace poset (Section 5's structure, as an API)."""
+
+import pytest
+
+from repro.core import isomorphic
+from repro.cwa import SolutionSpace, core_solution
+from repro.generators.settings_library import (
+    egd_only_setting,
+    example_5_3_setting,
+    example_5_3_source,
+    full_tgd_setting,
+)
+from repro.logic import parse_instance
+
+
+class TestExample53Space:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return SolutionSpace.build(
+            example_5_3_setting(), example_5_3_source(1)
+        )
+
+    def test_size(self, space):
+        assert len(space) == 4
+
+    def test_unique_minimal_is_core(self, space):
+        minimal = space.minimal_indices()
+        assert len(minimal) == 1
+        core = core_solution(example_5_3_setting(), example_5_3_source(1))
+        assert isomorphic(space.solutions[minimal[0]], core)
+
+    def test_no_maximal(self, space):
+        assert space.maximal_indices() == []
+        assert not space.has_maximum()
+
+    def test_antichain_of_incomparable_solutions(self, space):
+        # T and T' (and the third pattern) are pairwise incomparable.
+        assert len(space.largest_antichain()) >= 2
+
+    def test_not_a_chain(self, space):
+        assert not space.is_chain()
+
+    def test_census_and_describe(self, space):
+        census = space.census()
+        assert census["solutions"] == 4
+        assert census["maximal"] == 0
+        text = space.describe()
+        assert "none exists" in text
+        assert "minimal" in text
+
+
+class TestExample21Space:
+    def test_core_minimal_and_below_everything(self, setting_2_1, source_2_1):
+        space = SolutionSpace.build(setting_2_1, source_2_1)
+        minimal = space.minimal_indices()
+        assert len(minimal) == 1
+        # The core is a hom-image of every solution.
+        core_index = minimal[0]
+        assert all(
+            space.below(core_index, j) for j in range(len(space))
+        )
+
+
+class TestRestrictedClassSpaces:
+    def test_egd_only_space_has_maximum(self):
+        setting = egd_only_setting()
+        source = parse_instance("Emp('e1','d1'), Emp('e2','d2')")
+        space = SolutionSpace.build(setting, source)
+        assert space.has_maximum()  # Proposition 5.4
+
+    def test_full_tgd_space_is_singleton_chain(self):
+        setting = full_tgd_setting()
+        source = parse_instance("Edge('a','b'), Start('a')")
+        space = SolutionSpace.build(setting, source)
+        assert len(space) == 1
+        assert space.is_chain()
+        assert space.has_maximum()
+        assert space.census()["largest_antichain"] == 1
+
+    def test_empty_space(self):
+        from repro.core import Schema
+        from repro.exchange import DataExchangeSetting
+
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(Src=2),
+            Schema.of(Tgt=2),
+            ["Src(x, y) -> Tgt(x, y)"],
+            ["Tgt(x, y) & Tgt(x, z) -> y = z"],
+        )
+        source = parse_instance("Src('a','b'), Src('a','c')")
+        space = SolutionSpace.build(setting, source)
+        assert space.is_empty
+        assert len(space) == 0

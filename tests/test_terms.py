@@ -1,0 +1,123 @@
+"""Unit tests for constants, nulls, and variables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Const, Null, NullFactory, Variable, as_value, const, null, var
+from repro.core.terms import constants, variables
+
+
+class TestConst:
+    def test_equality_by_name(self):
+        assert Const("a") == Const("a")
+        assert Const("a") != Const("b")
+
+    def test_accepts_ints(self):
+        assert Const(3) == Const("3")
+
+    def test_is_constant_not_null(self):
+        assert Const("a").is_constant
+        assert not Const("a").is_null
+
+    def test_hashable(self):
+        assert len({Const("a"), Const("a"), Const("b")}) == 2
+
+    def test_ordering_among_constants(self):
+        assert Const("a") < Const("b")
+        assert not Const("b") < Const("a")
+
+    def test_str(self):
+        assert str(Const("a")) == "a"
+
+    def test_not_equal_to_null(self):
+        assert Const("1") != Null(1)
+
+    def test_not_equal_to_same_named_variable(self):
+        assert Const("x") != Variable("x")
+
+
+class TestNull:
+    def test_equality_by_ident(self):
+        assert Null(0) == Null(0)
+        assert Null(0) != Null(1)
+
+    def test_is_null(self):
+        assert Null(0).is_null
+        assert not Null(0).is_constant
+
+    def test_ordering_by_ident(self):
+        assert Null(1) < Null(2)
+
+    def test_constants_sort_below_nulls(self):
+        # Footnote 4's merge rule relies on a total order over Dom.
+        assert Const("zzz") < Null(0)
+        assert not Null(0) < Const("zzz")
+
+    def test_le(self):
+        assert Null(1) <= Null(1)
+        assert Null(1) <= Null(2)
+
+    def test_str_uses_bottom_symbol(self):
+        assert str(Null(3)) == "⊥3"
+
+
+class TestNullFactory:
+    def test_fresh_are_increasing(self):
+        factory = NullFactory()
+        first, second = factory.fresh(), factory.fresh()
+        assert first.ident < second.ident
+
+    def test_fresh_tuple_distinct(self):
+        factory = NullFactory()
+        batch = factory.fresh_tuple(5)
+        assert len(set(batch)) == 5
+
+    def test_above_skips_existing(self):
+        factory = NullFactory.above([Null(7), Const("a"), Null(2)])
+        assert factory.fresh() == Null(8)
+
+    def test_above_empty(self):
+        factory = NullFactory.above([])
+        assert factory.fresh() == Null(0)
+
+    def test_start(self):
+        assert NullFactory(start=10).fresh() == Null(10)
+
+
+class TestHelpers:
+    def test_as_value_coerces_strings(self):
+        assert as_value("a") == Const("a")
+
+    def test_as_value_coerces_ints(self):
+        assert as_value(7) == Const("7")
+
+    def test_as_value_passes_through(self):
+        assert as_value(Null(1)) == Null(1)
+
+    def test_as_value_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_value(3.14)
+
+    def test_variables_helper(self):
+        x, y = variables("x y")
+        assert x == var("x") and y == var("y")
+
+    def test_constants_helper(self):
+        a, b = constants("a b")
+        assert a == const("a") and b == const("b")
+
+    def test_null_helper(self):
+        assert null(4) == Null(4)
+
+
+@given(st.integers(min_value=0, max_value=1000), st.integers(min_value=0, max_value=1000))
+def test_null_order_is_total(i, j):
+    left, right = Null(i), Null(j)
+    assert (left < right) or (right < left) or (left == right)
+
+
+@given(st.text(min_size=1, max_size=10))
+def test_const_roundtrip(name):
+    assert Const(name).name == name
+    assert Const(name) == Const(name)

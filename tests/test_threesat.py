@@ -1,0 +1,130 @@
+"""Tests for the 3-SAT reduction behind Theorem 7.5 (co-NP-hardness)."""
+
+import pytest
+
+from repro.cwa import core_solution
+from repro.reductions.threesat import (
+    ThreeSat,
+    decide_sat_via_maybe_answers,
+    decide_unsat_via_certain_answers,
+    encode_formula,
+    random_formula,
+    sat_witness_query,
+    threesat_setting,
+    unsat_query,
+    unsatisfiable_formula,
+)
+
+
+class TestFormulaSubstrate:
+    def test_evaluate(self):
+        formula = ThreeSat([(("x", "+"), ("y", "-"), ("z", "+"))])
+        assert formula.evaluate({"x": True, "y": True, "z": False})
+        assert not formula.evaluate({"x": False, "y": True, "z": False})
+
+    def test_satisfiable_search(self):
+        formula = ThreeSat([(("x", "+"), ("x", "+"), ("x", "+"))])
+        assert formula.satisfying_assignment() == {"x": True}
+
+    def test_unsatisfiable_family(self):
+        formula = unsatisfiable_formula()
+        assert len(formula.clauses) == 8
+        assert not formula.satisfiable
+
+    def test_random_formula_reproducible(self):
+        assert repr(random_formula(4, 6, seed=1)) == repr(
+            random_formula(4, 6, seed=1)
+        )
+
+    def test_bad_sign_rejected(self):
+        with pytest.raises(ValueError):
+            ThreeSat([(("x", "?"), ("y", "+"), ("z", "+"))])
+
+
+class TestReductionPlumbing:
+    def test_setting_has_no_target_dependencies(self):
+        setting = threesat_setting()
+        assert not setting.has_target_constraints
+        assert setting.is_richly_acyclic
+
+    def test_encoding_size(self):
+        formula = ThreeSat([(("x", "+"), ("y", "+"), ("z", "-"))])
+        source = encode_formula(formula)
+        # 1 init + 3 variables + 1 clause.
+        assert len(source) == 5
+
+    def test_query_shape(self):
+        query = unsat_query()
+        assert query.arity == 0
+        counts = sorted(len(d.inequalities) for d in query.disjuncts)
+        assert counts == [0, 2]
+
+    def test_core_keeps_one_null_per_variable(self):
+        formula = ThreeSat([(("x", "+"), ("y", "+"), ("z", "-"))])
+        setting = threesat_setting()
+        minimal = core_solution(setting, encode_formula(formula))
+        # 3 variable nulls plus the two reference nulls.
+        assert len(minimal.nulls()) == 5
+
+
+class TestReductionCorrectness:
+    def test_unsatisfiable_yields_certain_true(self):
+        formula = unsatisfiable_formula()
+        assert decide_unsat_via_certain_answers(formula)
+
+    def test_satisfiable_yields_certain_false(self):
+        formula = ThreeSat([(("x", "+"), ("y", "+"), ("z", "+"))])
+        assert not decide_unsat_via_certain_answers(formula)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bruteforce_sat(self, seed):
+        formula = random_formula(3, 5, seed=seed)
+        expected = not formula.satisfiable
+        assert decide_unsat_via_certain_answers(formula) == expected
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_potential_certain_agrees(self, seed):
+        formula = random_formula(3, 4, seed=seed)
+        certain = decide_unsat_via_certain_answers(formula)
+        potential = decide_unsat_via_certain_answers(
+            formula, semantics="potential_certain"
+        )
+        assert certain == potential == (not formula.satisfiable)
+
+    def test_fast_anchor_mode_agrees_with_sound_default(self):
+        """The empty-anchor optimization gives the same verdicts as the
+        fully general (slower) valuation pool."""
+        for seed in range(3):
+            formula = random_formula(2, 3, seed=seed)
+            fast = decide_unsat_via_certain_answers(formula, fast_anchors=True)
+            slow = decide_unsat_via_certain_answers(formula, fast_anchors=False)
+            assert fast == slow
+
+    def test_maybe_side_np_reduction(self):
+        """The NP half (Theorem 7.5 / Prop 7.4): φ satisfiable ⟺
+        maybe◇(¬Q, S_φ) holds."""
+        for seed in range(4):
+            formula = random_formula(3, 5, seed=seed)
+            assert (
+                decide_sat_via_maybe_answers(formula) == formula.satisfiable
+            )
+
+    def test_maybe_and_certain_are_complementary(self):
+        formula = unsatisfiable_formula()
+        assert decide_unsat_via_certain_answers(formula)
+        assert not decide_sat_via_maybe_answers(formula)
+
+    def test_sat_witness_query_is_fo(self):
+        from repro.logic.queries import FirstOrderQuery
+
+        assert isinstance(sat_witness_query(), FirstOrderQuery)
+
+    def test_single_variable_contradiction(self):
+        formula = ThreeSat(
+            [
+                (("x", "+"), ("x", "+"), ("x", "+")),
+                (("x", "-"), ("x", "-"), ("x", "-")),
+            ]
+        )
+        assert not formula.satisfiable
+        assert decide_unsat_via_certain_answers(formula)

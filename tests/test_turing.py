@@ -1,0 +1,158 @@
+"""Tests for the Turing machine substrate and D_halt (Theorem 6.2)."""
+
+import pytest
+
+from repro.chase import standard_chase
+from repro.core import ReproError
+from repro.cwa import is_cwa_presolution
+from repro.reductions.turing import (
+    BLANK,
+    TuringMachine,
+    chase_configurations,
+    d_halt_setting,
+    encode_machine,
+    halting_machine,
+    halting_witness,
+    looping_machine,
+    zigzag_machine,
+)
+
+
+class TestMachineSubstrate:
+    def test_halting_machine_halts(self):
+        run = halting_machine(3).run_on_empty(100)
+        assert run.halted
+        assert run.steps == 4  # three writes plus the final hop to halt
+
+    def test_looping_machine_never_halts(self):
+        run = looping_machine().run_on_empty(200)
+        assert not run.halted
+        assert run.steps == 200
+
+    def test_zigzag_stays_bounded(self):
+        run = zigzag_machine().run_on_empty(50)
+        assert not run.halted
+        assert all(c.head in (1, 2, 3) for c in run.configurations)
+
+    def test_tape_contents(self):
+        run = halting_machine(2).run_on_empty(100)
+        final = run.configurations[-1]
+        assert final.symbol_at(1) == "1" and final.symbol_at(2) == "1"
+        assert final.symbol_at(10) == BLANK
+
+    def test_delta_totality_enforced(self):
+        with pytest.raises(ReproError):
+            TuringMachine(
+                ["q", "halt"], ["1"], {("q", "1"): ("halt", "1", "R")},
+                "q", ["halt"],
+            )
+
+    def test_delta_on_final_state_rejected(self):
+        with pytest.raises(ReproError):
+            TuringMachine(
+                ["q", "halt"],
+                [],
+                {
+                    ("q", BLANK): ("halt", BLANK, "R"),
+                    ("halt", BLANK): ("halt", BLANK, "R"),
+                },
+                "q",
+                ["halt"],
+            )
+
+    def test_left_edge_guard(self):
+        machine = TuringMachine(
+            ["q", "halt"],
+            [],
+            {("q", BLANK): ("q", BLANK, "L")},
+            "q",
+            ["halt"],
+        )
+        with pytest.raises(ReproError):
+            machine.run_on_empty(5)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ReproError):
+            TuringMachine(
+                ["q", "halt"], [], {("q", BLANK): ("q", BLANK, "X")},
+                "q", ["halt"],
+            )
+
+
+class TestDHaltSetting:
+    def test_not_weakly_acyclic(self):
+        # The END rule feeds NEXTPOS which feeds the END premise:
+        # undecidability lives outside the weakly acyclic class.
+        assert not d_halt_setting().is_weakly_acyclic
+
+    def test_encoding_size(self):
+        machine = halting_machine(2)
+        source = encode_machine(machine)
+        assert len(source) == len(machine.delta) + 1
+
+    def test_chase_simulates_machine(self):
+        """The chase of S_M reproduces M's run: states and head
+        positions along the NEXT chain match the direct simulation."""
+        machine = halting_machine(2)
+        run = machine.run_on_empty(50)
+        expected = [(c.state, c.head) for c in run.configurations]
+        readout = chase_configurations(machine, chase_steps=400)
+        overlap = min(len(readout), len(expected))
+        assert overlap >= 3
+        assert readout[:overlap] == expected[:overlap]
+
+    def test_chase_simulates_looping_machine_prefix(self):
+        machine = zigzag_machine()
+        run = machine.run_on_empty(6)
+        expected = [(c.state, c.head) for c in run.configurations]
+        readout = chase_configurations(machine, chase_steps=500)
+        overlap = min(len(readout), len(expected), 4)
+        assert readout[:overlap] == expected[:overlap]
+
+    def test_standard_chase_never_terminates(self):
+        """The END rule extends the time-0 tape forever: the standard
+        chase diverges for every machine -- which is why it cannot
+        decide Existence-of-CWA-Solutions (Theorem 6.2)."""
+        setting = d_halt_setting()
+        for machine in (halting_machine(1), looping_machine()):
+            outcome = standard_chase(
+                encode_machine(machine),
+                list(setting.all_dependencies),
+                max_steps=300,
+            )
+            assert outcome.diverged
+
+
+class TestHaltingWitness:
+    def test_witness_is_a_solution(self):
+        machine = halting_machine(1)
+        setting = d_halt_setting()
+        witness = halting_witness(machine)
+        assert setting.is_solution(encode_machine(machine), witness)
+
+    def test_witness_is_a_cwa_presolution(self):
+        """The finite run grid with the looped tape end is justified:
+        every atom derives from the init tgd, the transition tgds, the
+        copy tgds, or the END tgd with p' chosen by α."""
+        machine = halting_machine(1)
+        setting = d_halt_setting()
+        witness = halting_witness(machine)
+        assert is_cwa_presolution(setting, encode_machine(machine), witness)
+
+    def test_witness_larger_machines_still_solutions(self):
+        machine = halting_machine(3)
+        setting = d_halt_setting()
+        witness = halting_witness(machine)
+        assert setting.is_solution(encode_machine(machine), witness)
+
+    def test_no_witness_for_looping_machine(self):
+        with pytest.raises(ReproError):
+            halting_witness(looping_machine(), max_steps=100)
+
+    def test_chain_growth_tracks_budget_for_looping_machine(self):
+        """For a non-halting machine every chase budget yields a longer
+        NEXT chain: no finite instance can close the run off."""
+        machine = zigzag_machine()
+        shallow = chase_configurations(machine, chase_steps=220)
+        deep = chase_configurations(machine, chase_steps=900)
+        assert len(deep) > len(shallow) >= 1
