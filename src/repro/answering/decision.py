@@ -24,6 +24,7 @@ from ..core.terms import Value
 from ..cwa.solution import cansol, core_solution
 from ..exchange.setting import DataExchangeSetting
 from ..logic.queries import Query
+from ..obs import span
 from .semantics import NoCwaSolutionError
 from .valuations import certain_holds_on, maybe_holds_on
 
@@ -57,51 +58,61 @@ class AnswerLanguage:
                 f"answer arity {len(answer)} does not match query arity "
                 f"{self.query.arity}"
             )
-        if self.semantics == "certain":
-            return self._box_membership(source, answer, core_based=True)
-        if self.semantics == "persistent_maybe":
-            solution = core_solution(self.setting, source)
-            if solution is None:
-                raise NoCwaSolutionError("no CWA-solution exists")
-            return maybe_holds_on(
-                self.query, answer, solution, self.setting.target_dependencies
-            )
-        # The ◇-over-solutions semantics: fast path through CanSol when
-        # available, else the full set computation.
-        if (
-            self.setting.target_dependencies_are_egds_only
-            or self.setting.is_full_and_egd_setting
-        ):
-            solution = cansol(self.setting, source)
-            if solution is None:
+        with span(f"answering.decide.{self.semantics}"):
+            if self.semantics == "certain":
+                return self._box_membership(source, answer, core_based=True)
+            if self.semantics == "persistent_maybe":
+                solution = core_solution(self.setting, source)
+                if solution is None:
+                    raise NoCwaSolutionError("no CWA-solution exists")
+                return maybe_holds_on(
+                    self.query,
+                    answer,
+                    solution,
+                    self.setting.target_dependencies,
+                )
+            # The ◇-over-solutions semantics: fast path through CanSol when
+            # available, else the full set computation.
+            if (
+                self.setting.target_dependencies_are_egds_only
+                or self.setting.is_full_and_egd_setting
+            ):
+                solution = cansol(self.setting, source)
+                if solution is None:
+                    raise NoCwaSolutionError("no CWA-solution exists")
+                decide = (
+                    certain_holds_on
+                    if self.semantics == "potential_certain"
+                    else maybe_holds_on
+                )
+                return decide(
+                    self.query,
+                    answer,
+                    solution,
+                    self.setting.target_dependencies,
+                )
+            # General settings: decide per enumerated CWA-solution, with the
+            # tuple's own constants anchored (a set-level computation would
+            # report fresh-constant generic witnesses instead of ū itself).
+            from ..cwa.enumeration import enumerate_cwa_solutions
+
+            solutions = enumerate_cwa_solutions(self.setting, source)
+            if not solutions:
                 raise NoCwaSolutionError("no CWA-solution exists")
             decide = (
                 certain_holds_on
                 if self.semantics == "potential_certain"
                 else maybe_holds_on
             )
-            return decide(
-                self.query, answer, solution, self.setting.target_dependencies
+            return any(
+                decide(
+                    self.query,
+                    answer,
+                    solution,
+                    self.setting.target_dependencies,
+                )
+                for solution in solutions
             )
-        # General settings: decide per enumerated CWA-solution, with the
-        # tuple's own constants anchored (a set-level computation would
-        # report fresh-constant generic witnesses instead of ū itself).
-        from ..cwa.enumeration import enumerate_cwa_solutions
-
-        solutions = enumerate_cwa_solutions(self.setting, source)
-        if not solutions:
-            raise NoCwaSolutionError("no CWA-solution exists")
-        decide = (
-            certain_holds_on
-            if self.semantics == "potential_certain"
-            else maybe_holds_on
-        )
-        return any(
-            decide(
-                self.query, answer, solution, self.setting.target_dependencies
-            )
-            for solution in solutions
-        )
 
     def _box_membership(
         self, source: Instance, answer: Tuple[Value, ...], core_based: bool

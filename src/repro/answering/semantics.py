@@ -25,6 +25,7 @@ from ..cwa.enumeration import enumerate_cwa_solutions
 from ..cwa.solution import cansol, core_solution
 from ..exchange.setting import DataExchangeSetting
 from ..logic.queries import AnswerSet, Query
+from ..obs import span
 from .valuations import certain_on, maybe_on
 
 
@@ -54,12 +55,13 @@ def certain_answers(
     query: Query,
 ) -> AnswerSet:
     """``certain□(Q, S)``, via Theorem 7.1: ``□Q(Core_D(S))``."""
-    minimal = core_solution(setting, source)
-    if minimal is None:
-        raise NoCwaSolutionError(
-            "no CWA-solution exists for this source instance"
-        )
-    return certain_on(query, minimal, setting.target_dependencies)
+    with span("answering.certain"):
+        minimal = core_solution(setting, source)
+        if minimal is None:
+            raise NoCwaSolutionError(
+                "no CWA-solution exists for this source instance"
+            )
+        return certain_on(query, minimal, setting.target_dependencies)
 
 
 def persistent_maybe_answers(
@@ -68,12 +70,13 @@ def persistent_maybe_answers(
     query: Query,
 ) -> AnswerSet:
     """``maybe□(Q, S)``, via Theorem 7.1: ``◇Q(Core_D(S))``."""
-    minimal = core_solution(setting, source)
-    if minimal is None:
-        raise NoCwaSolutionError(
-            "no CWA-solution exists for this source instance"
-        )
-    return maybe_on(query, minimal, setting.target_dependencies)
+    with span("answering.persistent_maybe"):
+        minimal = core_solution(setting, source)
+        if minimal is None:
+            raise NoCwaSolutionError(
+                "no CWA-solution exists for this source instance"
+            )
+        return maybe_on(query, minimal, setting.target_dependencies)
 
 
 def potential_certain_answers(
@@ -91,18 +94,19 @@ def potential_certain_answers(
     reuse an enumerated space, or let the function enumerate one (small
     inputs only; maximal CWA-solutions may not exist, Example 5.3).
     """
-    if solutions is None and _cansol_applies(setting):
-        maximal = cansol(setting, source)
-        if maximal is None:
-            raise NoCwaSolutionError(
-                "no CWA-solution exists for this source instance"
-            )
-        return certain_on(query, maximal, setting.target_dependencies)
-    space = _solution_space(setting, source, solutions)
-    answers = frozenset()
-    for target in space:
-        answers |= certain_on(query, target, setting.target_dependencies)
-    return answers
+    with span("answering.potential_certain"):
+        if solutions is None and _cansol_applies(setting):
+            maximal = cansol(setting, source)
+            if maximal is None:
+                raise NoCwaSolutionError(
+                    "no CWA-solution exists for this source instance"
+                )
+            return certain_on(query, maximal, setting.target_dependencies)
+        space = _solution_space(setting, source, solutions)
+        answers = frozenset()
+        for target in space:
+            answers |= certain_on(query, target, setting.target_dependencies)
+        return answers
 
 
 def maybe_answers(
@@ -114,18 +118,19 @@ def maybe_answers(
 ) -> AnswerSet:
     """``maybe◇(Q, S)`` -- same strategy as
     :func:`potential_certain_answers`, with ◇Q in place of □Q."""
-    if solutions is None and _cansol_applies(setting):
-        maximal = cansol(setting, source)
-        if maximal is None:
-            raise NoCwaSolutionError(
-                "no CWA-solution exists for this source instance"
-            )
-        return maybe_on(query, maximal, setting.target_dependencies)
-    space = _solution_space(setting, source, solutions)
-    answers = frozenset()
-    for target in space:
-        answers |= maybe_on(query, target, setting.target_dependencies)
-    return answers
+    with span("answering.maybe"):
+        if solutions is None and _cansol_applies(setting):
+            maximal = cansol(setting, source)
+            if maximal is None:
+                raise NoCwaSolutionError(
+                    "no CWA-solution exists for this source instance"
+                )
+            return maybe_on(query, maximal, setting.target_dependencies)
+        space = _solution_space(setting, source, solutions)
+        answers = frozenset()
+        for target in space:
+            answers |= maybe_on(query, target, setting.target_dependencies)
+        return answers
 
 
 def _cansol_applies(setting: DataExchangeSetting) -> bool:

@@ -59,6 +59,7 @@ from ..core.terms import Const, Null
 from ..chase.satisfaction import satisfies_all
 from ..dependencies.base import Dependency
 from ..logic.queries import AnswerSet, AnswerTuple, Query
+from ..obs import counter
 
 FRESH_PREFIX = "_c"
 
@@ -97,8 +98,10 @@ def valuations(
     One valuation per (partition of nulls, anchor assignment); see the
     module docstring.  ``anchors=None`` uses the sound default.
     """
+    enumerated = counter("answering.valuations_enumerated")
     nulls = sorted(target.nulls())
     if not nulls:
+        enumerated.inc()
         yield {}
         return
     if anchors is None:
@@ -114,6 +117,7 @@ def valuations(
         index: int, blocks_used: int, current: List[Const]
     ) -> Iterator[Valuation]:
         if index == len(nulls):
+            enumerated.inc()
             yield dict(zip(nulls, current))
             return
         for anchor in anchor_list:
@@ -158,9 +162,11 @@ def rep(
     Valuations whose image violates Σ_t are discarded, per the
     definition of Rep_D in Section 7.1.
     """
+    worlds = counter("answering.worlds_visited")
     for valuation in valuations(target, extra_constants, anchors=anchors):
         image = target.rename_values(valuation)
         if satisfies_all(image, target_dependencies):
+            worlds.inc()
             yield image
 
 

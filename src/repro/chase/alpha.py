@@ -26,6 +26,7 @@ by revisiting a previous state.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom, Substitution
@@ -35,6 +36,7 @@ from ..core.terms import NullFactory, Value
 from ..dependencies.base import Dependency, split_dependencies
 from ..dependencies.egd import Egd
 from ..dependencies.tgd import Tgd
+from ..obs import counter, gauge, span, span_stats
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
 
 DEFAULT_MAX_STEPS = 100_000
@@ -163,95 +165,132 @@ def alpha_chase(
     """
     tgds, egds = split_dependencies(list(dependencies))
     current = instance.copy()
+    initial_nulls = set(instance.nulls())
     steps = 0
     log: List[ChaseStep] = []
     seen_states: Set[FrozenSet[Atom]] = set()
+    started = time.perf_counter()
+    firings = counter("chase.tgd_firings")
+    merges = counter("chase.egd_merges")
+    null_count = counter("chase.nulls_created")
 
-    while True:
-        # Saturate tgds under α-applicability.  Each pass materializes
-        # the current matches and fires every one that is still
-        # α-applicable at its own firing time; newly enabled matches are
-        # picked up by the next pass.
-        progressed = True
-        while progressed:
-            progressed = False
-            for tgd in tgds:
-                pending = [
-                    (premise_match, justification_key(tgd, premise_match))
-                    for premise_match in tgd.premise_matches(current)
-                ]
-                for premise_match, key in pending:
-                    witnesses = alpha.witnesses(key)
-                    if tgd.conclusion_present(current, premise_match, witnesses):
-                        continue
-                    if steps >= max_steps:
-                        return ChaseOutcome(
-                            ChaseStatus.DIVERGED,
-                            current,
-                            steps,
-                            log,
-                            f"α-chase exceeded {max_steps} steps",
-                        )
-                    added = tgd.conclusion_atoms_under(premise_match, witnesses)
-                    new_atoms = [atom for atom in added if current.add(atom)]
-                    steps += 1
-                    progressed = True
-                    if trace:
-                        binding = tuple(
-                            (variable.name, premise_match[variable])
-                            for variable in tgd.frontier + tgd.premise_only
-                        )
-                        log.append(
-                            ChaseStep("tgd", tgd, binding=binding, added=new_atoms)
-                        )
+    def finish(status: ChaseStatus, reason: str = "") -> ChaseOutcome:
+        # α-witnesses need not be fresh, so count created nulls by
+        # comparing against the input instance instead of per firing.
+        created = len(set(current.nulls()) - initial_nulls)
+        null_count.inc(created)
+        gauge("chase.steps_to_fixpoint").set(steps)
+        gauge("instance.nulls").set(len(current.nulls()))
+        return ChaseOutcome(
+            status,
+            current,
+            steps,
+            log,
+            reason,
+            elapsed_seconds=time.perf_counter() - started,
+            nulls_created=created,
+        )
 
-        # tgd fixpoint reached: no tgd is α-applicable.  Check egds.
-        violating: Optional[Tuple[Egd, Value, Value]] = None
-        for egd in egds:
-            violation = egd.first_violation(current)
-            if violation is not None:
-                violating = (egd, violation[0], violation[1])
-                break
+    def out_of_budget() -> ChaseOutcome:
+        return finish(
+            ChaseStatus.DIVERGED, f"α-chase exceeded {max_steps} steps"
+        )
 
-        if violating is None:
-            return ChaseOutcome(ChaseStatus.SUCCESS, current, steps, log)
+    with span("chase.alpha"):
+        # Phase timing only (egds vs tgds), recorded per saturation round
+        # -- same overhead-budget reasoning as the standard engine.
+        egd_stats = span_stats("egds")
+        tgd_stats = span_stats("tgds")
+        while True:
+            # Saturate tgds under α-applicability.  Each pass materializes
+            # the current matches and fires every one that is still
+            # α-applicable at its own firing time; newly enabled matches are
+            # picked up by the next pass.
+            pass_started = time.perf_counter()
+            try:
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for tgd in tgds:
+                        pending = [
+                            (premise_match, justification_key(tgd, premise_match))
+                            for premise_match in tgd.premise_matches(current)
+                        ]
+                        for premise_match, key in pending:
+                            witnesses = alpha.witnesses(key)
+                            if tgd.conclusion_present(
+                                current, premise_match, witnesses
+                            ):
+                                continue
+                            if steps >= max_steps:
+                                return out_of_budget()
+                            added = tgd.conclusion_atoms_under(
+                                premise_match, witnesses
+                            )
+                            new_atoms = [
+                                atom for atom in added if current.add(atom)
+                            ]
+                            steps += 1
+                            progressed = True
+                            firings.inc()
+                            if trace:
+                                binding = tuple(
+                                    (variable.name, premise_match[variable])
+                                    for variable in tgd.frontier
+                                    + tgd.premise_only
+                                )
+                                log.append(
+                                    ChaseStep(
+                                        "tgd",
+                                        tgd,
+                                        binding=binding,
+                                        added=new_atoms,
+                                    )
+                                )
+            finally:
+                tgd_stats.record(time.perf_counter() - pass_started)
 
-        egd, left, right = violating
-        direction = Egd.merge_direction(left, right)
-        if direction is None:
-            return ChaseOutcome(
-                ChaseStatus.FAILURE,
-                current,
-                steps,
-                log,
-                f"egd {egd} equated distinct constants {left} and {right}",
-            )
+            # tgd fixpoint reached: no tgd is α-applicable.  Check egds.
+            egd_started = time.perf_counter()
+            violating: Optional[Tuple[Egd, Value, Value]] = None
+            for egd in egds:
+                violation = egd.first_violation(current)
+                if violation is not None:
+                    violating = (egd, violation[0], violation[1])
+                    break
 
-        snapshot = current.frozen()
-        if snapshot in seen_states:
-            return ChaseOutcome(
-                ChaseStatus.DIVERGED,
-                current,
-                steps,
-                log,
-                "α-chase revisited a state: no successful α-chase exists "
-                "for this α (it must loop forever, cf. Example 4.4)",
-            )
-        seen_states.add(snapshot)
+            if violating is None:
+                egd_stats.record(time.perf_counter() - egd_started)
+                return finish(ChaseStatus.SUCCESS)
 
-        old, new = direction
-        current.replace_value(old, new)
-        steps += 1
-        if steps >= max_steps:
-            return ChaseOutcome(
-                ChaseStatus.DIVERGED,
-                current,
-                steps,
-                log,
-                f"α-chase exceeded {max_steps} steps",
-            )
-        if trace:
-            log.append(ChaseStep("egd", egd, merged=(old, new)))
+            egd, left, right = violating
+            direction = Egd.merge_direction(left, right)
+            if direction is None:
+                egd_stats.record(time.perf_counter() - egd_started)
+                return finish(
+                    ChaseStatus.FAILURE,
+                    f"egd {egd} equated distinct constants {left} and {right}",
+                )
+
+            snapshot = current.frozen()
+            if snapshot in seen_states:
+                egd_stats.record(time.perf_counter() - egd_started)
+                return finish(
+                    ChaseStatus.DIVERGED,
+                    "α-chase revisited a state: no successful α-chase exists "
+                    "for this α (it must loop forever, cf. Example 4.4)",
+                )
+            seen_states.add(snapshot)
+
+            old, new = direction
+            current.replace_value(old, new)
+            steps += 1
+            merges.inc()
+            egd_stats.record(time.perf_counter() - egd_started)
+            if steps >= max_steps:
+                return out_of_budget()
+            if trace:
+                log.append(ChaseStep("egd", egd, merged=(old, new)))
 
 
 class AlphaChaseSession:

@@ -80,7 +80,7 @@ def narrate(
     >>> print(narrate(parse_instance("E('a','b')"), outcome))  # doctest: +ELLIPSIS
     I0 = {E(a, b)}
     I1 = I0 ∪ {F(b, ⊥...)}  (apply tgd with x ↦ a, y ↦ b)
-    result: success after 1 step(s)
+    result: success after 1 step(s), 1 null(s) created, in ...s
     """
     lines: List[str] = []
     atoms = ", ".join(repr(a) for a in initial.sorted_atoms())
@@ -90,7 +90,9 @@ def narrate(
         if show_instances:
             lines.append(f"    I{item.index} = {item.instance!r}")
     lines.append(
-        f"result: {outcome.status.value} after {outcome.steps} step(s)"
+        f"result: {outcome.status.value} after {outcome.steps} step(s), "
+        f"{outcome.nulls_created} null(s) created, "
+        f"in {outcome.elapsed_seconds:.4f}s"
         + (f" -- {outcome.reason}" if outcome.reason else "")
     )
     return "\n".join(lines)

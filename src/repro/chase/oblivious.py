@@ -24,6 +24,7 @@ from ..core.instance import Instance
 from ..core.terms import NullFactory, Value
 from ..dependencies.base import Dependency
 from ..dependencies.tgd import Tgd
+from ..obs import counter, span
 from .alpha import (
     FreshAlpha,
     JustificationKey,
@@ -50,9 +51,10 @@ def oblivious_chase(
     """
     factory = null_factory or instance.null_factory()
     alpha = FreshAlpha(factory)
-    outcome = alpha_chase(
-        instance, dependencies, alpha, max_steps=max_steps, trace=trace
-    )
+    with span("chase.oblivious"):
+        outcome = alpha_chase(
+            instance, dependencies, alpha, max_steps=max_steps, trace=trace
+        )
     return outcome, alpha
 
 
@@ -79,12 +81,19 @@ def fire_all_source_justifications(
     factory = null_factory or source.null_factory()
     result = source.copy()
     table: Dict[JustificationKey, Tuple[Value, ...]] = {}
-    for tgd in st_tgds:
-        for premise_match in tgd.premise_matches(source):
-            key = justification_key(tgd, premise_match)
-            if key in table:
-                continue
-            witnesses = factory.fresh_tuple(len(tgd.existential))
-            table[key] = witnesses
-            result.add_all(tgd.conclusion_atoms_under(premise_match, witnesses))
+    firings = counter("chase.tgd_firings")
+    null_count = counter("chase.nulls_created")
+    with span("chase.fire_all_source_justifications"):
+        for tgd in st_tgds:
+            for premise_match in tgd.premise_matches(source):
+                key = justification_key(tgd, premise_match)
+                if key in table:
+                    continue
+                witnesses = factory.fresh_tuple(len(tgd.existential))
+                table[key] = witnesses
+                firings.inc()
+                null_count.inc(len(witnesses))
+                result.add_all(
+                    tgd.conclusion_atoms_under(premise_match, witnesses)
+                )
     return result, table

@@ -68,9 +68,21 @@ class ChaseOutcome:
         Step records if tracing was requested, else empty.
     reason:
         Human-readable explanation for non-success outcomes.
+    elapsed_seconds:
+        Wall time of the run (perf_counter), populated by every engine.
+    nulls_created:
+        Number of fresh nulls invented by tgd firings during the run.
     """
 
-    __slots__ = ("status", "instance", "steps", "trace", "reason")
+    __slots__ = (
+        "status",
+        "instance",
+        "steps",
+        "trace",
+        "reason",
+        "elapsed_seconds",
+        "nulls_created",
+    )
 
     def __init__(
         self,
@@ -79,12 +91,17 @@ class ChaseOutcome:
         steps: int,
         trace: Sequence[ChaseStep] = (),
         reason: str = "",
+        *,
+        elapsed_seconds: float = 0.0,
+        nulls_created: int = 0,
     ):
         self.status = status
         self.instance = instance
         self.steps = steps
         self.trace: List[ChaseStep] = list(trace)
         self.reason = reason
+        self.elapsed_seconds = elapsed_seconds
+        self.nulls_created = nulls_created
 
     @property
     def successful(self) -> bool:

@@ -24,6 +24,7 @@ races the two.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom, Substitution
@@ -33,6 +34,7 @@ from ..dependencies.base import Dependency, split_dependencies
 from ..dependencies.egd import Egd
 from ..dependencies.tgd import Tgd
 from ..logic.matching import match
+from ..obs import counter, gauge, span, span_stats
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
 
 DEFAULT_MAX_STEPS = 200_000
@@ -106,62 +108,96 @@ def seminaive_chase(
     current = instance.copy()
     factory = null_factory or current.null_factory()
     steps = 0
+    nulls_created = 0
     log: List[ChaseStep] = []
     delta: List[Atom] = list(current)
+    started = time.perf_counter()
+    firings = counter("chase.tgd_firings")
+    merges = counter("chase.egd_merges")
+    null_count = counter("chase.nulls_created")
 
-    while True:
-        # Egd fixpoint first; rewritten atoms re-enter the delta.
-        failed, steps, merged_atoms = _egd_fixpoint(
-            current, egds, steps, max_steps, log if trace else None
+    def finish(status: ChaseStatus, reason: str = "") -> ChaseOutcome:
+        gauge("chase.steps_to_fixpoint").set(steps)
+        gauge("instance.nulls").set(len(current.nulls()))
+        return ChaseOutcome(
+            status,
+            current,
+            steps,
+            log,
+            reason,
+            elapsed_seconds=time.perf_counter() - started,
+            nulls_created=nulls_created,
         )
-        if failed == "failed":
-            return ChaseOutcome(
-                ChaseStatus.FAILURE,
-                current,
-                steps,
-                log,
-                "an egd equated two distinct constants",
-            )
-        if failed == "budget":
-            return ChaseOutcome(
-                ChaseStatus.DIVERGED,
-                current,
-                steps,
-                log,
-                f"semi-naive chase exceeded {max_steps} steps",
-            )
-        delta.extend(merged_atoms)
 
-        if not delta:
-            return ChaseOutcome(ChaseStatus.SUCCESS, current, steps, log)
+    def out_of_budget() -> ChaseOutcome:
+        return finish(
+            ChaseStatus.DIVERGED,
+            f"semi-naive chase exceeded {max_steps} steps",
+        )
 
-        new_delta: List[Atom] = []
-        for tgd in tgds:
-            for premise_match in list(_delta_matches(tgd, current, delta)):
-                if steps >= max_steps:
-                    return ChaseOutcome(
-                        ChaseStatus.DIVERGED,
-                        current,
-                        steps,
-                        log,
-                        f"semi-naive chase exceeded {max_steps} steps",
+    with span("chase.seminaive"):
+        # Phase timing only (egds vs tgds), once per outer iteration --
+        # same overhead-budget reasoning as the batched engine.
+        egd_stats = span_stats("egds") if egds else None
+        tgd_stats = span_stats("tgds")
+        while True:
+            # Egd fixpoint first; rewritten atoms re-enter the delta.
+            if egd_stats is not None:
+                pass_started = time.perf_counter()
+                merges_before = steps
+                failed, steps, merged_atoms = _egd_fixpoint(
+                    current, egds, steps, max_steps, log if trace else None
+                )
+                egd_stats.record(time.perf_counter() - pass_started)
+                merges.inc(steps - merges_before)
+                if failed == "failed":
+                    return finish(
+                        ChaseStatus.FAILURE,
+                        "an egd equated two distinct constants",
                     )
-                if tgd.conclusion_holds(current, premise_match):
-                    continue
-                witnesses = factory.fresh_tuple(len(tgd.existential))
-                added = tgd.conclusion_atoms_under(premise_match, witnesses)
-                fresh = [atom for atom in added if current.add(atom)]
-                new_delta.extend(fresh)
-                steps += 1
-                if trace:
-                    binding = tuple(
-                        (variable.name, premise_match[variable])
-                        for variable in tgd.frontier + tgd.premise_only
-                    )
-                    log.append(
-                        ChaseStep("tgd", tgd, binding=binding, added=fresh)
-                    )
-        delta = new_delta
+                if failed == "budget":
+                    return out_of_budget()
+                delta.extend(merged_atoms)
+            elif steps >= max_steps:
+                return out_of_budget()
+
+            if not delta:
+                return finish(ChaseStatus.SUCCESS)
+
+            new_delta: List[Atom] = []
+            pass_started = time.perf_counter()
+            try:
+                for tgd in tgds:
+                    for premise_match in list(
+                        _delta_matches(tgd, current, delta)
+                    ):
+                        if steps >= max_steps:
+                            return out_of_budget()
+                        if tgd.conclusion_holds(current, premise_match):
+                            continue
+                        witnesses = factory.fresh_tuple(len(tgd.existential))
+                        added = tgd.conclusion_atoms_under(
+                            premise_match, witnesses
+                        )
+                        fresh = [atom for atom in added if current.add(atom)]
+                        new_delta.extend(fresh)
+                        steps += 1
+                        firings.inc()
+                        nulls_created += len(witnesses)
+                        null_count.inc(len(witnesses))
+                        if trace:
+                            binding = tuple(
+                                (variable.name, premise_match[variable])
+                                for variable in tgd.frontier + tgd.premise_only
+                            )
+                            log.append(
+                                ChaseStep(
+                                    "tgd", tgd, binding=binding, added=fresh
+                                )
+                            )
+            finally:
+                tgd_stats.record(time.perf_counter() - pass_started)
+            delta = new_delta
 
 
 def _egd_fixpoint(

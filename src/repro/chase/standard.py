@@ -13,6 +13,7 @@ solution exists at all.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 from ..core.errors import ChaseDivergence
@@ -20,6 +21,7 @@ from ..core.instance import Instance
 from ..core.terms import NullFactory
 from ..dependencies.base import Dependency, split_dependencies
 from ..dependencies.egd import Egd
+from ..obs import counter, gauge, span, span_stats
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
 
 DEFAULT_MAX_STEPS = 200_000
@@ -48,65 +50,104 @@ def standard_chase(
     current = instance.copy()
     factory = null_factory or current.null_factory()
     steps = 0
+    nulls_created = 0
     log: List[ChaseStep] = []
+    started = time.perf_counter()
+    firings = counter("chase.tgd_firings")
+    merges = counter("chase.egd_merges")
+    null_count = counter("chase.nulls_created")
 
-    while True:
-        # Apply egds to a fixpoint (priority over tgds).
+    def finish(status: ChaseStatus, reason: str = "") -> ChaseOutcome:
+        """The single exit path: every verdict carries the same stats."""
+        gauge("chase.steps_to_fixpoint").set(steps)
+        gauge("instance.nulls").set(len(current.nulls()))
+        return ChaseOutcome(
+            status,
+            current,
+            steps,
+            log,
+            reason,
+            elapsed_seconds=time.perf_counter() - started,
+            nulls_created=nulls_created,
+        )
+
+    def out_of_budget() -> ChaseOutcome:
+        return finish(
+            ChaseStatus.DIVERGED,
+            f"standard chase exceeded {max_steps} steps",
+        )
+
+    with span("chase.standard"):
+        # Phase timing only (egds vs tgds), recorded once per outer
+        # iteration -- a span per dependency pass costs enough relative
+        # to the pass itself to violate the telemetry overhead budget.
+        egd_stats = span_stats("egds") if egds else None
+        tgd_stats = span_stats("tgds")
         while True:
-            if steps >= max_steps:
-                return ChaseOutcome(
-                    ChaseStatus.DIVERGED,
-                    current,
-                    steps,
-                    log,
-                    f"standard chase exceeded {max_steps} steps",
-                )
-            egd_step = _apply_one_egd(current, egds, log if trace else None)
-            if egd_step == "failed":
-                return ChaseOutcome(
-                    ChaseStatus.FAILURE,
-                    current,
-                    steps,
-                    log,
-                    "an egd equated two distinct constants",
-                )
-            if egd_step != "applied":
-                break
-            steps += 1
+            # Apply egds to a fixpoint (priority over tgds).
+            if egd_stats is not None:
+                pass_started = time.perf_counter()
+                try:
+                    while True:
+                        if steps >= max_steps:
+                            return out_of_budget()
+                        egd_step = _apply_one_egd(
+                            current, egds, log if trace else None
+                        )
+                        if egd_step == "failed":
+                            return finish(
+                                ChaseStatus.FAILURE,
+                                "an egd equated two distinct constants",
+                            )
+                        if egd_step != "applied":
+                            break
+                        merges.inc()
+                        steps += 1
+                finally:
+                    egd_stats.record(time.perf_counter() - pass_started)
+            elif steps >= max_steps:
+                return out_of_budget()
 
-        # One batched tgd pass: fire every trigger that is (still)
-        # unsatisfied at its own firing time.  This is a valid standard
-        # chase sequence -- each firing is checked against the current
-        # instance -- and avoids re-enumerating all matches per step.
-        fired_any = False
-        for tgd in tgds:
-            for premise_match in list(tgd.premise_matches(current)):
-                if steps >= max_steps:
-                    return ChaseOutcome(
-                        ChaseStatus.DIVERGED,
-                        current,
-                        steps,
-                        log,
-                        f"standard chase exceeded {max_steps} steps",
-                    )
-                if tgd.conclusion_holds(current, premise_match):
-                    continue
-                witnesses = factory.fresh_tuple(len(tgd.existential))
-                added = tgd.conclusion_atoms_under(premise_match, witnesses)
-                new_atoms = [atom for atom in added if current.add(atom)]
-                steps += 1
-                fired_any = True
-                if trace:
-                    binding = tuple(
-                        (variable.name, premise_match[variable])
-                        for variable in tgd.frontier + tgd.premise_only
-                    )
-                    log.append(
-                        ChaseStep("tgd", tgd, binding=binding, added=new_atoms)
-                    )
+            # One batched tgd pass: fire every trigger that is (still)
+            # unsatisfied at its own firing time.  This is a valid standard
+            # chase sequence -- each firing is checked against the current
+            # instance -- and avoids re-enumerating all matches per step.
+            fired_any = False
+            pass_started = time.perf_counter()
+            try:
+                for tgd in tgds:
+                    for premise_match in list(tgd.premise_matches(current)):
+                        if steps >= max_steps:
+                            return out_of_budget()
+                        if tgd.conclusion_holds(current, premise_match):
+                            continue
+                        witnesses = factory.fresh_tuple(len(tgd.existential))
+                        added = tgd.conclusion_atoms_under(
+                            premise_match, witnesses
+                        )
+                        new_atoms = [
+                            atom for atom in added if current.add(atom)
+                        ]
+                        steps += 1
+                        fired_any = True
+                        firings.inc()
+                        nulls_created += len(witnesses)
+                        null_count.inc(len(witnesses))
+                        if trace:
+                            binding = tuple(
+                                (variable.name, premise_match[variable])
+                                for variable in tgd.frontier + tgd.premise_only
+                            )
+                            log.append(
+                                ChaseStep(
+                                    "tgd", tgd, binding=binding, added=new_atoms
+                                )
+                            )
+            finally:
+                tgd_stats.record(time.perf_counter() - pass_started)
 
-        if not fired_any:
-            return ChaseOutcome(ChaseStatus.SUCCESS, current, steps, log)
+            if not fired_any:
+                return finish(ChaseStatus.SUCCESS)
 
 
 def _apply_one_egd(

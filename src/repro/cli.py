@@ -32,6 +32,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from . import obs
 from .core.errors import ReproError
 from .core.instance import Instance
 from .core.schema import Schema
@@ -115,6 +116,21 @@ def load_instance(path: str, setting: Optional[DataExchangeSetting] = None) -> I
 def _print_instance(instance: Instance, label: str) -> None:
     print(f"{label} ({len(instance)} atoms):")
     print(instance.pretty())
+
+
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by solve / chase / certain / report."""
+    subparser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall-time and counter table to stderr",
+    )
+    subparser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write the telemetry event stream as line-JSON to PATH",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -264,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--core-algorithm", choices=("blockwise", "folding"), default="blockwise"
     )
+    _add_obs_flags(solve)
     solve.set_defaults(run=command_solve)
 
     chase = commands.add_parser("chase", help="narrated chase run")
@@ -274,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("standard", "seminaive"), default="standard"
     )
     chase.add_argument("--show-instances", action="store_true")
+    _add_obs_flags(chase)
     chase.set_defaults(run=command_chase)
 
     certain = commands.add_parser("certain", help="answer a query")
@@ -285,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("certain", "potential-certain", "persistent-maybe", "maybe"),
         default="certain",
     )
+    _add_obs_flags(certain)
     certain.set_defaults(run=command_certain)
 
     check = commands.add_parser(
@@ -305,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("setting")
     report_cmd.add_argument("source")
     report_cmd.add_argument("--max-steps", type=int, default=200_000)
+    _add_obs_flags(report_cmd)
     report_cmd.set_defaults(run=command_report)
 
     return parser
@@ -313,11 +333,29 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    has_obs_flags = hasattr(args, "profile")
+    sink: Optional[obs.JsonLinesSink] = None
+    previous_sink = None
+    if has_obs_flags:
+        # Per-invocation metrics: zero the registry so --profile and
+        # --trace-json describe exactly this command.
+        obs.reset()
+        if args.trace_json:
+            sink = obs.JsonLinesSink(args.trace_json)
+            previous_sink = obs.install_sink(sink)
     try:
         return args.run(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if has_obs_flags and args.profile:
+            print("=== profile (per-phase wall times) ===", file=sys.stderr)
+            print(obs.render_profile(), file=sys.stderr)
+        if sink is not None:
+            obs.get_telemetry().emit_snapshot()
+            obs.install_sink(previous_sink)
+            sink.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

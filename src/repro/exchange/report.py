@@ -4,8 +4,11 @@
 wants before trusting an exchange: the setting's acyclicity class, the
 chase outcome, canonical solution and core sizes, the Gaifman block
 census, per-null justifications (recovered through the α witness of the
-core), and a sample of certain answers.  ``render`` turns it into text;
-the CLI exposes it as ``python -m repro report``.
+core), a sample of certain/maybe answers per target relation, and a
+telemetry snapshot (spans, counters, gauges) of the work performed.
+``render`` turns it into text; the CLI exposes it as
+``python -m repro report`` (add ``--profile`` for a per-phase table on
+stderr, ``--trace-json PATH`` for the raw event stream).
 """
 
 from __future__ import annotations
@@ -14,10 +17,17 @@ from typing import List, Optional, Tuple
 
 from ..core.errors import ChaseDivergence
 from ..core.instance import Instance
+from ..core.terms import Variable
 from ..cwa.presolution import find_alpha
 from ..homomorphism.blocks import block_statistics
+from ..logic.queries import ConjunctiveQuery
+from ..obs import get_telemetry, span
 from .setting import DataExchangeSetting
 from .solve import ExchangeResult, solve
+
+#: Answer samples enumerate valuations of the core, which is exponential
+#: in its null count; skip the sample beyond this many nulls.
+ANSWER_SAMPLE_MAX_NULLS = 6
 
 
 class ExchangeReport:
@@ -35,8 +45,13 @@ class ExchangeReport:
         self.result = result
         self.diverged = diverged
         self.justifications: List[Tuple[str, str]] = []
+        #: Per target relation: (name, |certain□|, |maybe◇|) on the core.
+        self.answer_samples: List[Tuple[str, int, int]] = []
+        #: Telemetry snapshot (``repro.obs`` schema); filled by ``report``.
+        self.metrics: Optional[dict] = None
         if result is not None and result.core_solution is not None:
             self._collect_justifications()
+            self._collect_answer_samples()
 
     def _collect_justifications(self) -> None:
         """Per-justification witness values of the core's α (if found)."""
@@ -55,6 +70,35 @@ class ExchangeReport:
                 (f"{tgd.name or 'tgd'} on ({trigger})", produced)
             )
 
+    def _collect_answer_samples(self) -> None:
+        """Atomic-query answer counts per target relation, on the core.
+
+        For each target relation R/k the sample evaluates
+        ``Q(x̄) :- R(x̄)`` under certain□ and maybe◇ on the minimal
+        CWA-solution -- a cheap summary of how much of the target is
+        definite versus merely possible.  Skipped when the core has too
+        many nulls for valuation enumeration to stay cheap.
+        """
+        from ..answering.valuations import certain_on, maybe_on
+        from ..core.atoms import Atom
+
+        minimal = self.result.core_solution
+        if len(minimal.nulls()) > ANSWER_SAMPLE_MAX_NULLS:
+            return
+        dependencies = self.setting.target_dependencies
+        with span("report.answer_samples"):
+            for name in sorted(self.setting.target_schema.names):
+                relation = self.setting.target_schema[name]
+                variables = tuple(
+                    Variable(f"x{i}") for i in range(relation.arity)
+                )
+                query = ConjunctiveQuery(
+                    variables, [Atom(relation, variables)]
+                )
+                certain = certain_on(query, minimal, dependencies)
+                maybe = maybe_on(query, minimal, dependencies)
+                self.answer_samples.append((name, len(certain), len(maybe)))
+
     @property
     def status(self) -> str:
         if self.diverged is not None:
@@ -70,12 +114,21 @@ def report(
     *,
     max_steps: int = 200_000,
 ) -> ExchangeReport:
-    """Build the report; chase divergence is captured, not raised."""
-    try:
-        result = solve(setting, source, max_steps=max_steps)
-        return ExchangeReport(setting, source, result, None)
-    except ChaseDivergence as divergence:
-        return ExchangeReport(setting, source, None, str(divergence))
+    """Build the report; chase divergence is captured, not raised.
+
+    The returned report carries a telemetry snapshot of everything the
+    run did (``report.metrics``); the snapshot is cumulative for the
+    process-wide registry -- call :func:`repro.obs.reset` first for a
+    per-report reading.
+    """
+    with span("report"):
+        try:
+            result = solve(setting, source, max_steps=max_steps)
+            built = ExchangeReport(setting, source, result, None)
+        except ChaseDivergence as divergence:
+            built = ExchangeReport(setting, source, None, str(divergence))
+    built.metrics = get_telemetry().snapshot()
+    return built
 
 
 def render(exchange_report: ExchangeReport) -> str:
@@ -107,12 +160,14 @@ def render(exchange_report: ExchangeReport) -> str:
 
     if exchange_report.status == "diverged":
         lines.append(f"chase: DIVERGED -- {exchange_report.diverged}")
+        lines.extend(_metrics_lines(exchange_report))
         return "\n".join(lines)
     if exchange_report.status == "no solution":
         lines.append(
             "chase: FAILED -- an egd equated distinct constants; "
             "no (CWA-)solution exists"
         )
+        lines.extend(_metrics_lines(exchange_report))
         return "\n".join(lines)
 
     result = exchange_report.result
@@ -137,4 +192,30 @@ def render(exchange_report: ExchangeReport) -> str:
         lines.append("null justifications (the core's α witness):")
         for trigger, produced in exchange_report.justifications:
             lines.append(f"  {trigger} ↦ {produced}")
+    if exchange_report.answer_samples:
+        lines.append("answer sample (atomic queries on the core):")
+        for name, certain, maybe in exchange_report.answer_samples:
+            lines.append(
+                f"  {name}: {certain} certain□ answer(s), "
+                f"{maybe} maybe◇ answer(s)"
+            )
+    lines.extend(_metrics_lines(exchange_report))
     return "\n".join(lines)
+
+
+def _metrics_lines(exchange_report: ExchangeReport) -> List[str]:
+    """The metrics section: per-phase wall-times, counters, gauges."""
+    metrics = exchange_report.metrics
+    if not metrics:
+        return []
+    lines = ["metrics:"]
+    for path, stats in metrics.get("spans", {}).items():
+        lines.append(
+            f"  [span] {path}: {stats['seconds']:.4f}s "
+            f"({stats['count']} call(s))"
+        )
+    for name, value in metrics.get("counters", {}).items():
+        lines.append(f"  [counter] {name}: {value}")
+    for name, value in metrics.get("gauges", {}).items():
+        lines.append(f"  [gauge] {name}: {value}")
+    return lines

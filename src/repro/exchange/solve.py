@@ -17,6 +17,7 @@ from ..chase.seminaive import seminaive_chase
 from ..chase.standard import DEFAULT_MAX_STEPS, standard_chase
 from ..homomorphism.blocks import blockwise_core
 from ..homomorphism.core_computation import core
+from ..obs import gauge, span
 from .setting import DataExchangeSetting
 
 CHASE_ENGINES = {
@@ -114,16 +115,20 @@ def solve(
             f"unknown core algorithm {core_algorithm!r}; pick one of "
             f"{sorted(CORE_ALGORITHMS)}"
         ) from None
-    outcome = chase(
-        source, list(setting.all_dependencies), max_steps=max_steps
-    )
-    if outcome.status is ChaseStatus.FAILURE:
-        return ExchangeResult(setting, source, None, None, outcome.steps)
-    if outcome.status is ChaseStatus.DIVERGED:
-        raise ChaseDivergence(outcome.steps, outcome.reason)
-    canonical = outcome.instance.reduct(setting.target_schema)
-    core_instance = core_of(canonical) if compute_core else None
-    return ExchangeResult(setting, source, canonical, core_instance, outcome.steps)
+    with span("solve"):
+        outcome = chase(
+            source, list(setting.all_dependencies), max_steps=max_steps
+        )
+        if outcome.status is ChaseStatus.FAILURE:
+            return ExchangeResult(setting, source, None, None, outcome.steps)
+        if outcome.status is ChaseStatus.DIVERGED:
+            raise ChaseDivergence(outcome.steps, outcome.reason)
+        canonical = outcome.instance.reduct(setting.target_schema)
+        gauge("instance.nulls").set(len(canonical.nulls()))
+        core_instance = core_of(canonical) if compute_core else None
+        return ExchangeResult(
+            setting, source, canonical, core_instance, outcome.steps
+        )
 
 
 def existence_of_cwa_solutions(

@@ -27,6 +27,8 @@ from typing import Dict, FrozenSet, List, Optional, Set
 from ..core.atoms import Atom
 from ..core.instance import Instance
 from ..core.terms import Null, Value
+from ..obs import span
+from .core_computation import _FOLDS, _RETRACTS
 from .core_computation import core as global_core
 from .core_computation import fold_step
 
@@ -102,7 +104,7 @@ def _block_fold(
     whole instance.
     """
     from ..core.terms import Variable
-    from ..logic.matching import first_match
+    from ..logic.matching import attributed, first_match
 
     to_variable = {null: Variable(f"_b{null.ident}") for null in block}
     pattern = [
@@ -114,9 +116,12 @@ def _block_fold(
     ]
     smaller = current.copy()
     smaller.discard(dropped)
-    found = first_match(pattern, smaller)
+    _RETRACTS.inc()
+    with attributed("hom"):
+        found = first_match(pattern, smaller)
     if found is None:
         return None
+    _FOLDS.inc()
     back = {variable: null for null, variable in to_variable.items()}
     return {back[variable]: value for variable, value in found.items()}
 
@@ -168,18 +173,19 @@ def blockwise_core(instance: Instance) -> Instance:
     result; if the pass left folds on the table (possible when a fold
     rewired blocks), global folding finishes the job.
     """
-    current = instance.copy()
-    for block in null_blocks(current):
-        live = frozenset(block & current.nulls())
-        if not live:
-            continue
-        minimized = _minimize_block(current, live)
-        if minimized is not None:
-            current = minimized
+    with span("core.blockwise"):
+        current = instance.copy()
+        for block in null_blocks(current):
+            live = frozenset(block & current.nulls())
+            if not live:
+                continue
+            minimized = _minimize_block(current, live)
+            if minimized is not None:
+                current = minimized
 
-    # Verification / completion: the blockwise pass is usually already a
-    # core; fall back to global folding otherwise.
-    remainder = fold_step(current)
-    if remainder is None:
-        return current
-    return global_core(remainder)
+        # Verification / completion: the blockwise pass is usually already
+        # a core; fall back to global folding otherwise.
+        remainder = fold_step(current)
+        if remainder is None:
+            return current
+        return global_core(remainder)

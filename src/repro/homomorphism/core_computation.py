@@ -30,7 +30,14 @@ from typing import List, Optional
 
 from ..core.atoms import Atom
 from ..core.instance import Instance
+from ..obs import counter, span
 from .search import find_homomorphism, has_homomorphism
+
+# Prefetched handles (counters survive ``repro.obs.reset``): fold_step
+# runs once per retained atom per fold round, so per-call registry
+# lookups would add up on large canonical solutions.
+_RETRACTS = counter("core.retract_attempts")
+_FOLDS = counter("core.folds")
 
 
 def _foldable_atoms(instance: Instance) -> List[Atom]:
@@ -48,8 +55,10 @@ def fold_step(instance: Instance) -> Optional[Instance]:
     for item in _foldable_atoms(instance):
         smaller = instance.copy()
         smaller.discard(item)
+        _RETRACTS.inc()
         mapping = find_homomorphism(instance, smaller)
         if mapping is not None:
+            _FOLDS.inc()
             return instance.rename_values(mapping)
     return None
 
@@ -62,12 +71,13 @@ def core(instance: Instance) -> Instance:
     >>> core(inst)
     Instance({E(a, b)})
     """
-    current = instance.copy()
-    while True:
-        folded = fold_step(current)
-        if folded is None:
-            return current
-        current = folded
+    with span("core.folding"):
+        current = instance.copy()
+        while True:
+            folded = fold_step(current)
+            if folded is None:
+                return current
+            current = folded
 
 
 def is_core(instance: Instance) -> bool:

@@ -18,9 +18,15 @@ from ..core.atoms import Atom
 from ..core.instance import Instance
 from ..core.terms import Null, Value, Variable
 
-from ..logic.matching import first_match, match
+from ..logic.matching import attributed, first_match, match
+from ..obs import counter
 
 Homomorphism = Dict[Value, Value]
+
+# Prefetched handle: ``counter()`` objects survive ``repro.obs.reset``
+# (they are zeroed in place), so a module-level fetch is safe and keeps
+# the per-search cost to one attribute increment.
+_SEARCHES = counter("hom.searches")
 
 
 def _canonical_pattern(instance: Instance) -> Tuple[Tuple[Atom, ...], Dict[Variable, Null]]:
@@ -49,15 +55,22 @@ def homomorphisms(source: Instance, target: Instance) -> Iterator[Homomorphism]:
     Each homomorphism is returned as a dict on ``Null(source)``; constants
     are fixed and omitted.
     """
+    _SEARCHES.inc()
     pattern, back = _canonical_pattern(source)
-    for substitution in match(pattern, target):
-        yield {back[variable]: value for variable, value in substitution.items()}
+    with attributed("hom"):
+        for substitution in match(pattern, target):
+            yield {
+                back[variable]: value
+                for variable, value in substitution.items()
+            }
 
 
 def find_homomorphism(source: Instance, target: Instance) -> Optional[Homomorphism]:
     """The first homomorphism from ``source`` to ``target``, or None."""
+    _SEARCHES.inc()
     pattern, back = _canonical_pattern(source)
-    substitution = first_match(pattern, target)
+    with attributed("hom"):
+        substitution = first_match(pattern, target)
     if substitution is None:
         return None
     return {back[variable]: value for variable, value in substitution.items()}

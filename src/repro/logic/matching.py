@@ -26,8 +26,54 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from ..core.atoms import Atom, Substitution
 from ..core.instance import Instance
 from ..core.terms import Term, Value, Variable
+from ..obs import Counter, counter
 
 Inequality = Tuple[Term, Term]
+
+# Telemetry attribution.  The matcher serves several masters (chase
+# premise evaluation, query evaluation, homomorphism search); candidate
+# and backtrack counting is *opt-in* per call site: an ``attributed``
+# block installs a counter pair (``<scope>.candidates`` /
+# ``<scope>.backtracks``) and match() runs its counting search variant.
+# Outside any block the matcher runs the plain variant -- ``match()`` is
+# the single hottest function in the library and the chase's premise
+# evaluation must not pay for bookkeeping nobody asked for.
+_SCOPE_COUNTERS: Dict[str, Tuple[Counter, Counter]] = {}
+
+#: The counter pair of the innermost ``attributed`` block, or None.
+_ACTIVE_COUNTERS: Optional[Tuple[Counter, Counter]] = None
+
+
+def _scope_counters(scope: str) -> Tuple[Counter, Counter]:
+    pair = _SCOPE_COUNTERS.get(scope)
+    if pair is None:
+        pair = (counter(scope + ".candidates"), counter(scope + ".backtracks"))
+        _SCOPE_COUNTERS[scope] = pair
+    return pair
+
+
+class attributed:
+    """Count matcher work under ``scope`` within the block.
+
+    A hand-rolled context manager (not ``@contextmanager``) because it
+    wraps individual homomorphism searches -- core folding enters it
+    once per retract attempt.
+    """
+
+    __slots__ = ("_scope", "_previous")
+
+    def __init__(self, scope: str):
+        self._scope = scope
+
+    def __enter__(self) -> None:
+        global _ACTIVE_COUNTERS
+        self._previous = _ACTIVE_COUNTERS
+        _ACTIVE_COUNTERS = _scope_counters(self._scope)
+
+    def __exit__(self, *exc_info) -> bool:
+        global _ACTIVE_COUNTERS
+        _ACTIVE_COUNTERS = self._previous
+        return False
 
 
 def _candidate_count(pattern: Atom, instance: Instance, bound: Dict[Variable, Value]) -> int:
@@ -103,6 +149,82 @@ def _inequalities_hold(
     return True
 
 
+def _search(
+    remaining: List[Atom],
+    instance: Instance,
+    bound: Dict[Variable, Value],
+    inequalities: Sequence[Inequality],
+) -> Iterator[Dict[Variable, Value]]:
+    """The plain (uncounted) backtracking search."""
+    if not remaining:
+        yield dict(bound)
+        return
+    # Fail-first: most constrained atom next.
+    index = min(
+        range(len(remaining)),
+        key=lambda i: _candidate_count(remaining[i], instance, bound),
+    )
+    pattern = remaining.pop(index)
+    try:
+        for fact in _candidates(pattern, instance, bound):
+            new_bindings = _unify(pattern, fact, bound)
+            if new_bindings is None:
+                continue
+            for variable, value in new_bindings:
+                bound[variable] = value
+            if _inequalities_hold(inequalities, bound):
+                yield from _search(remaining, instance, bound, inequalities)
+            for variable, _ in new_bindings:
+                del bound[variable]
+    finally:
+        remaining.insert(index, pattern)
+
+
+def _search_counted(
+    remaining: List[Atom],
+    instance: Instance,
+    bound: Dict[Variable, Value],
+    inequalities: Sequence[Inequality],
+    counts: List[int],
+) -> Iterator[Dict[Variable, Value]]:
+    """The counting search: ``counts`` accumulates [candidates, backtracks].
+
+    A backtrack is a candidate that failed to unify, or the undoing of a
+    non-empty partial binding after its subtree was exhausted.
+    """
+    if not remaining:
+        yield dict(bound)
+        return
+    index = min(
+        range(len(remaining)),
+        key=lambda i: _candidate_count(remaining[i], instance, bound),
+    )
+    pattern = remaining.pop(index)
+    tried = 0
+    backs = 0
+    try:
+        for fact in _candidates(pattern, instance, bound):
+            tried += 1
+            new_bindings = _unify(pattern, fact, bound)
+            if new_bindings is None:
+                backs += 1
+                continue
+            for variable, value in new_bindings:
+                bound[variable] = value
+            if _inequalities_hold(inequalities, bound):
+                yield from _search_counted(
+                    remaining, instance, bound, inequalities, counts
+                )
+            if new_bindings:
+                backs += 1
+            for variable, _ in new_bindings:
+                del bound[variable]
+    finally:
+        remaining.insert(index, pattern)
+        counts[0] += tried
+        counts[1] += backs
+
+
 def match(
     patterns: Sequence[Atom],
     instance: Instance,
@@ -132,33 +254,25 @@ def match(
         return
 
     remaining = list(patterns)
+    counters = _ACTIVE_COUNTERS
+    if counters is None:
+        for result in _search(remaining, instance, bound, inequalities):
+            yield Substitution(result)
+        return
 
-    def search() -> Iterator[Dict[Variable, Value]]:
-        if not remaining:
-            yield dict(bound)
-            return
-        # Fail-first: most constrained atom next.
-        index = min(
-            range(len(remaining)),
-            key=lambda i: _candidate_count(remaining[i], instance, bound),
-        )
-        pattern = remaining.pop(index)
-        try:
-            for fact in _candidates(pattern, instance, bound):
-                new_bindings = _unify(pattern, fact, bound)
-                if new_bindings is None:
-                    continue
-                for variable, value in new_bindings:
-                    bound[variable] = value
-                if _inequalities_hold(inequalities, bound):
-                    yield from search()
-                for variable, _ in new_bindings:
-                    del bound[variable]
-        finally:
-            remaining.insert(index, pattern)
-
-    for result in search():
-        yield Substitution(result)
+    counts = [0, 0]
+    try:
+        for result in _search_counted(
+            remaining, instance, bound, inequalities, counts
+        ):
+            yield Substitution(result)
+    finally:
+        # Flushed exactly once, also when the consumer stops early
+        # (generator close) -- first_match and exists_match do.
+        if counts[0]:
+            candidate_counter, backtrack_counter = counters
+            candidate_counter.value += counts[0]
+            backtrack_counter.value += counts[1]
 
 
 def exists_match(

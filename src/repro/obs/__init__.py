@@ -1,0 +1,180 @@
+"""``repro.obs`` -- zero-dependency telemetry for the whole library.
+
+Usage from instrumented code (all module-level helpers act on the
+process-wide default :class:`~repro.obs.telemetry.Telemetry` registry)::
+
+    from ..obs import counter, gauge, span
+
+    with span("chase.standard"):
+        counter("chase.tgd_firings").inc()
+        gauge("instance.nulls").set(7)
+
+Usage from consumers::
+
+    from repro import obs
+
+    obs.reset()
+    ... run an exchange ...
+    print(obs.to_json(indent=2))          # stable schema, see docs
+    table = obs.render_profile()          # human-readable per-phase table
+
+Sinks (``--trace-json``, ``REPRO_LOG``, tests) are described in
+``docs/observability.md`` together with the metric name registry and the
+JSON schemas.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Iterator, List, Optional
+
+from .sinks import (
+    NULL_SINK,
+    EventSink,
+    JsonLinesSink,
+    LoggingSink,
+    NullSink,
+    RecordingSink,
+    TeeSink,
+)
+from .telemetry import DEFAULT, SCHEMA, Counter, Gauge, SpanStats, Telemetry
+
+__all__ = [
+    "Counter",
+    "EventSink",
+    "Gauge",
+    "JsonLinesSink",
+    "LoggingSink",
+    "NULL_SINK",
+    "NullSink",
+    "RecordingSink",
+    "SCHEMA",
+    "SpanStats",
+    "TeeSink",
+    "Telemetry",
+    "configure_from_env",
+    "counter",
+    "event",
+    "gauge",
+    "get_telemetry",
+    "install_sink",
+    "render_profile",
+    "reset",
+    "snapshot",
+    "span",
+    "span_stats",
+    "to_json",
+]
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide default registry."""
+    return DEFAULT
+
+
+def counter(name: str) -> Counter:
+    return DEFAULT.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return DEFAULT.gauge(name)
+
+
+def span(name: str):
+    return DEFAULT.span(name)
+
+
+def span_stats(name: str) -> SpanStats:
+    return DEFAULT.span_stats(name)
+
+
+def event(name: str, **fields) -> None:
+    DEFAULT.event(name, **fields)
+
+
+def snapshot() -> dict:
+    return DEFAULT.snapshot()
+
+
+def to_json(indent: Optional[int] = None) -> str:
+    return DEFAULT.to_json(indent=indent)
+
+
+def reset() -> None:
+    DEFAULT.reset()
+
+
+def install_sink(sink: EventSink) -> EventSink:
+    return DEFAULT.install_sink(sink)
+
+
+def render_profile(data: Optional[dict] = None) -> str:
+    """A fixed-width per-phase table of a snapshot (default: current).
+
+    Spans first (path, calls, total seconds), then counters, then
+    gauges.  This is what the CLI's ``--profile`` flag prints to stderr
+    and what ``repro report`` embeds in its metrics section.
+    """
+    state = data if data is not None else snapshot()
+    lines: List[str] = []
+    spans = state.get("spans", {})
+    if spans:
+        width = max(len(path) for path in spans)
+        lines.append(f"{'span'.ljust(width)}  {'calls':>7}  {'seconds':>10}")
+        for path, stats in spans.items():
+            lines.append(
+                f"{path.ljust(width)}  {stats['count']:>7}  "
+                f"{stats['seconds']:>10.4f}"
+            )
+    counters = state.get("counters", {})
+    if counters:
+        if lines:
+            lines.append("")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"{name.ljust(width)}  {value}")
+    gauges = state.get("gauges", {})
+    if gauges:
+        if lines:
+            lines.append("")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"{name.ljust(width)}  {value}")
+    return "\n".join(lines) if lines else "(no telemetry recorded)"
+
+
+_ENV_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO}
+
+
+def configure_from_env(environ=os.environ) -> Optional[LoggingSink]:
+    """Honor ``REPRO_LOG=debug|info``: route events to stdlib logging.
+
+    Installs a :class:`LoggingSink` on the default registry (tee'd with
+    any sink already installed) and makes sure the ``repro.obs`` logger
+    has a handler and an effective level, so library users get telemetry
+    without touching the sink API.  Returns the sink, or None when the
+    variable is unset or names an unknown level.
+    """
+    level_name = environ.get("REPRO_LOG", "").strip().lower()
+    level = _ENV_LEVELS.get(level_name)
+    if level is None:
+        return None
+    logger = logging.getLogger("repro.obs")
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    sink = LoggingSink(logger, level)
+    current = DEFAULT.sink
+    if current is NULL_SINK:
+        DEFAULT.install_sink(sink)
+    else:
+        DEFAULT.install_sink(TeeSink(current, sink))
+    return sink
+
+
+configure_from_env()

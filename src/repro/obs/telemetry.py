@@ -1,0 +1,242 @@
+"""The telemetry core: spans, counters, gauges, snapshots.
+
+One :class:`Telemetry` registry aggregates everything in memory:
+
+* **spans** -- hierarchical wall-time sections (``with span("solve"):``).
+  Nesting builds ``/``-joined paths (``solve/chase.standard``); each path
+  aggregates a call count and total seconds via :func:`time.perf_counter`.
+* **counters** -- monotonically increasing integers
+  (``counter("chase.tgd_firings").inc()``).
+* **gauges** -- last-write-wins numbers (``gauge("instance.nulls").set(n)``).
+
+Aggregation always happens (the updates are single dict/attribute
+operations, cheap enough for the chase's hot loops); *events* are only
+constructed and emitted when a non-null sink is installed, so the default
+configuration adds no observable overhead.
+
+``snapshot()`` returns the aggregate state as a plain dict with the
+stable schema documented in ``docs/observability.md``; ``to_json()`` is
+its JSON rendering.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
+
+from .sinks import NULL_SINK, EventSink
+
+SCHEMA = "repro.obs/v1"
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A named monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A named last-write-wins number."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class SpanStats:
+    """Aggregate for one span path: how often, how long in total."""
+
+    __slots__ = ("path", "count", "seconds")
+
+    def __init__(self, path: str):
+        self.path = path
+        self.count = 0
+        self.seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.seconds += seconds
+
+    def __repr__(self) -> str:
+        return f"SpanStats({self.path}: n={self.count}, {self.seconds:.4f}s)"
+
+
+class Telemetry:
+    """One registry of counters, gauges and span aggregates plus a sink."""
+
+    def __init__(self, sink: EventSink = NULL_SINK):
+        self._sink = sink
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._spans: Dict[str, SpanStats] = {}
+        self._stack: List[str] = []
+        self._epoch = time.perf_counter()
+
+    # -- sink management ------------------------------------------------
+
+    @property
+    def sink(self) -> EventSink:
+        return self._sink
+
+    def install_sink(self, sink: EventSink) -> EventSink:
+        """Replace the sink; returns the previous one."""
+        previous = self._sink
+        self._sink = sink
+        return previous
+
+    @property
+    def emitting(self) -> bool:
+        """True when a non-null sink is listening."""
+        return self._sink is not NULL_SINK
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    # -- instruments ----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name)
+        return found
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[SpanStats]:
+        """A wall-timed section; nests into a ``/``-joined path.
+
+        Exception-safe: the span is closed (and its time recorded) even
+        when the body raises.
+        """
+        stack = self._stack
+        path = stack[-1] + "/" + name if stack else name
+        stats = self._spans.get(path)
+        if stats is None:
+            stats = self._spans[path] = SpanStats(path)
+        stack.append(path)
+        if self._sink is not NULL_SINK:
+            self._sink.emit(
+                {
+                    "type": "span_start",
+                    "name": path,
+                    "ts": self._now(),
+                    "depth": len(stack),
+                }
+            )
+        started = time.perf_counter()
+        try:
+            yield stats
+        finally:
+            elapsed = time.perf_counter() - started
+            stats.record(elapsed)
+            stack.pop()
+            if self._sink is not NULL_SINK:
+                self._sink.emit(
+                    {
+                        "type": "span_end",
+                        "name": path,
+                        "ts": self._now(),
+                        "seconds": elapsed,
+                        "depth": len(stack) + 1,
+                    }
+                )
+
+    def span_stats(self, name: str) -> SpanStats:
+        """An aggregate-only span handle nested under the current span.
+
+        For hot loops where the ~µs cost of the :meth:`span` context
+        manager matters: fetch the handle once, then call
+        ``stats.record(elapsed)`` with manually measured deltas.  No
+        events are emitted; the aggregate appears in :meth:`snapshot`
+        like any other span.
+        """
+        stack = self._stack
+        path = stack[-1] + "/" + name if stack else name
+        stats = self._spans.get(path)
+        if stats is None:
+            stats = self._spans[path] = SpanStats(path)
+        return stats
+
+    def event(self, name: str, **fields) -> None:
+        """Emit a one-off structured event (no-op under the null sink)."""
+        if self._sink is not NULL_SINK:
+            payload = {"type": "event", "name": name, "ts": self._now()}
+            payload.update(fields)
+            self._sink.emit(payload)
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The aggregate state as a plain dict (stable schema)."""
+        return {
+            "schema": SCHEMA,
+            "counters": {
+                name: item.value for name, item in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: item.value for name, item in sorted(self._gauges.items())
+            },
+            "spans": {
+                path: {"count": item.count, "seconds": item.seconds}
+                for path, item in sorted(self._spans.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def emit_snapshot(self) -> None:
+        """Push the aggregate state through the sink as one event."""
+        if self._sink is not NULL_SINK:
+            self._sink.emit(
+                {"type": "snapshot", "ts": self._now(), "data": self.snapshot()}
+            )
+
+    def reset(self) -> None:
+        """Zero all aggregates (the sink stays installed).
+
+        Counter/gauge/span objects are zeroed *in place* rather than
+        discarded, so handles fetched before a reset keep working --
+        instrumented modules may cache them for speed.
+        """
+        for item in self._counters.values():
+            item.value = 0
+        for item in self._gauges.values():
+            item.value = 0
+        for item in self._spans.values():
+            item.count = 0
+            item.seconds = 0.0
+        self._stack.clear()
+        self._epoch = time.perf_counter()
+
+
+#: The process-wide default registry used by the module-level helpers in
+#: :mod:`repro.obs`.  Library code always instruments through it.
+DEFAULT = Telemetry()
