@@ -20,6 +20,7 @@ import pytest
 #: the session.  Table 1 benchmarks get their own file.
 BENCH_CHASE_FILE = "BENCH_chase.json"
 BENCH_TABLE1_FILE = "BENCH_table1.json"
+BENCH_ENGINE_FILE = "BENCH_engine.json"
 
 
 def fit_polynomial_degree(sizes, times):
@@ -111,10 +112,19 @@ def pytest_sessionfinish(session, exitstatus):
     if not benches:
         return
     root = pathlib.Path(__file__).resolve().parent.parent
-    groups = {BENCH_CHASE_FILE: [], BENCH_TABLE1_FILE: []}
+    groups = {
+        BENCH_CHASE_FILE: [],
+        BENCH_TABLE1_FILE: [],
+        BENCH_ENGINE_FILE: [],
+    }
     for bench in benches:
         fullname = getattr(bench, "fullname", "") or ""
-        target = BENCH_TABLE1_FILE if "table1" in fullname else BENCH_CHASE_FILE
+        if "table1" in fullname:
+            target = BENCH_TABLE1_FILE
+        elif "bench_engine" in fullname:
+            target = BENCH_ENGINE_FILE
+        else:
+            target = BENCH_CHASE_FILE
         groups[target].append(bench)
     for filename, group in groups.items():
         if not group:

@@ -25,7 +25,7 @@ from ..cwa.enumeration import enumerate_cwa_solutions
 from ..cwa.solution import cansol, core_solution
 from ..exchange.setting import DataExchangeSetting
 from ..logic.queries import AnswerSet, Query
-from ..obs import span
+from ..obs import counter, span
 from .valuations import certain_on, maybe_on
 
 
@@ -53,6 +53,8 @@ def certain_answers(
     setting: DataExchangeSetting,
     source: Instance,
     query: Query,
+    *,
+    executor=None,
 ) -> AnswerSet:
     """``certain□(Q, S)``, via Theorem 7.1: ``□Q(Core_D(S))``."""
     with span("answering.certain"):
@@ -61,13 +63,17 @@ def certain_answers(
             raise NoCwaSolutionError(
                 "no CWA-solution exists for this source instance"
             )
-        return certain_on(query, minimal, setting.target_dependencies)
+        return certain_on(
+            query, minimal, setting.target_dependencies, executor=executor
+        )
 
 
 def persistent_maybe_answers(
     setting: DataExchangeSetting,
     source: Instance,
     query: Query,
+    *,
+    executor=None,
 ) -> AnswerSet:
     """``maybe□(Q, S)``, via Theorem 7.1: ``◇Q(Core_D(S))``."""
     with span("answering.persistent_maybe"):
@@ -76,7 +82,9 @@ def persistent_maybe_answers(
             raise NoCwaSolutionError(
                 "no CWA-solution exists for this source instance"
             )
-        return maybe_on(query, minimal, setting.target_dependencies)
+        return maybe_on(
+            query, minimal, setting.target_dependencies, executor=executor
+        )
 
 
 def potential_certain_answers(
@@ -85,6 +93,7 @@ def potential_certain_answers(
     query: Query,
     *,
     solutions: Optional[Sequence[Instance]] = None,
+    executor=None,
 ) -> AnswerSet:
     """``certain◇(Q, S)``.
 
@@ -101,12 +110,17 @@ def potential_certain_answers(
                 raise NoCwaSolutionError(
                     "no CWA-solution exists for this source instance"
                 )
-            return certain_on(query, maximal, setting.target_dependencies)
+            return certain_on(
+                query, maximal, setting.target_dependencies, executor=executor
+            )
         space = _solution_space(setting, source, solutions)
-        answers = frozenset()
-        for target in space:
-            answers |= certain_on(query, target, setting.target_dependencies)
-        return answers
+        return answers_over_space(
+            query,
+            space,
+            setting.target_dependencies,
+            "potential_certain",
+            executor=executor,
+        )
 
 
 def maybe_answers(
@@ -115,6 +129,7 @@ def maybe_answers(
     query: Query,
     *,
     solutions: Optional[Sequence[Instance]] = None,
+    executor=None,
 ) -> AnswerSet:
     """``maybe◇(Q, S)`` -- same strategy as
     :func:`potential_certain_answers`, with ◇Q in place of □Q."""
@@ -125,12 +140,17 @@ def maybe_answers(
                 raise NoCwaSolutionError(
                     "no CWA-solution exists for this source instance"
                 )
-            return maybe_on(query, maximal, setting.target_dependencies)
+            return maybe_on(
+                query, maximal, setting.target_dependencies, executor=executor
+            )
         space = _solution_space(setting, source, solutions)
-        answers = frozenset()
-        for target in space:
-            answers |= maybe_on(query, target, setting.target_dependencies)
-        return answers
+        return answers_over_space(
+            query,
+            space,
+            setting.target_dependencies,
+            "maybe",
+            executor=executor,
+        )
 
 
 def _cansol_applies(setting: DataExchangeSetting) -> bool:
@@ -140,27 +160,113 @@ def _cansol_applies(setting: DataExchangeSetting) -> bool:
     )
 
 
+SEMANTICS_NAMES = ("certain", "potential_certain", "persistent_maybe", "maybe")
+
+
+def _answer_certain(query, setting, source):
+    return certain_answers(setting, source, query)
+
+
+def _answer_potential_certain(query, setting, source):
+    return potential_certain_answers(setting, source, query)
+
+
+def _answer_persistent_maybe(query, setting, source):
+    return persistent_maybe_answers(setting, source, query)
+
+
+def _answer_maybe(query, setting, source):
+    return maybe_answers(setting, source, query)
+
+
+# Module-level (hence picklable) per-query entry points, keyed by
+# semantics name; Executor.batch_answer ships these to worker processes.
+_SEMANTICS_FNS = {
+    "certain": _answer_certain,
+    "potential_certain": _answer_potential_certain,
+    "persistent_maybe": _answer_persistent_maybe,
+    "maybe": _answer_maybe,
+}
+
+
+def _semantics_fn(semantics: str):
+    try:
+        return _SEMANTICS_FNS[semantics]
+    except KeyError:
+        raise ReproError(
+            f"unknown semantics {semantics!r}; pick one of {SEMANTICS_NAMES}"
+        ) from None
+
+
+def _cached_answers(cache, key: str, compute) -> AnswerSet:
+    """Look one answer set up in the ``answers`` cache family."""
+    from ..io import answers_from_json, answers_to_json
+
+    hit = cache.get("answers", key)
+    if hit is not None:
+        try:
+            answers = answers_from_json(hit["rows"])
+        except (ReproError, KeyError, TypeError):
+            answers = None
+        if answers is not None:
+            counter("answering.cache_hits").inc()
+            return answers
+    answers = compute()
+    cache.put("answers", key, {"rows": answers_to_json(answers)})
+    return answers
+
+
 def all_four_semantics(
     setting: DataExchangeSetting,
     source: Instance,
     query: Query,
     *,
     solutions: Optional[Sequence[Instance]] = None,
+    executor=None,
+    cache=None,
 ) -> dict:
     """All four answer sets at once (used by examples and benchmarks).
 
     Corollary 7.2 guarantees the chain
     ``certain□ ⊆ certain◇ ⊆ maybe□ ⊆ maybe◇``; the property tests check
     it on every evaluated query.
+
+    ``executor`` parallelizes the per-valuation (and, over an explicit
+    space, per-solution) work; ``cache`` memoizes each of the four
+    verdicts under an :func:`repro.engine.fingerprint.answer_key`.
     """
-    return {
-        "certain": certain_answers(setting, source, query),
-        "potential_certain": potential_certain_answers(
-            setting, source, query, solutions=solutions
+    computations = {
+        "certain": lambda: certain_answers(
+            setting, source, query, executor=executor
         ),
-        "persistent_maybe": persistent_maybe_answers(setting, source, query),
-        "maybe": maybe_answers(setting, source, query, solutions=solutions),
+        "potential_certain": lambda: potential_certain_answers(
+            setting, source, query, solutions=solutions, executor=executor
+        ),
+        "persistent_maybe": lambda: persistent_maybe_answers(
+            setting, source, query, executor=executor
+        ),
+        "maybe": lambda: maybe_answers(
+            setting, source, query, solutions=solutions, executor=executor
+        ),
     }
+    if cache is None:
+        return {name: compute() for name, compute in computations.items()}
+    from ..engine.fingerprint import answer_key  # lazy: engine is optional
+
+    return {
+        name: _cached_answers(
+            cache,
+            answer_key(setting, source, query, name, solutions=solutions),
+            compute,
+        )
+        for name, compute in computations.items()
+    }
+
+
+def _solution_answers(target, query, target_dependencies, box: bool):
+    """Worker: one solution's □Q or ◇Q (module-level for pickling)."""
+    per_solution = certain_on if box else maybe_on
+    return per_solution(query, target, target_dependencies)
 
 
 def answers_over_space(
@@ -168,19 +274,39 @@ def answers_over_space(
     solutions: Iterable[Instance],
     target_dependencies,
     mode: str,
+    *,
+    executor=None,
 ) -> AnswerSet:
     """Direct-definition evaluation over an explicit solution space.
 
     ``mode`` is one of ``"certain"`` (⋂□), ``"potential_certain"`` (⋃□),
     ``"persistent_maybe"`` (⋂◇), ``"maybe"`` (⋃◇).  Used by tests to
     cross-validate the fast paths of Theorem 7.1.
+
+    With a parallel ``executor``, each solution is evaluated in its own
+    task; intersection/union over the per-solution answer sets happens
+    in the parent, in solution order, so the result equals the serial
+    one exactly.
     """
     box = mode in ("certain", "potential_certain")
     intersect = mode in ("certain", "persistent_maybe")
-    per_solution = certain_on if box else maybe_on
+    space = list(solutions)
+    if executor is not None and executor.parallel and len(space) > 1:
+        per_target = executor.map_worlds(
+            _solution_answers,
+            space,
+            query,
+            tuple(target_dependencies),
+            box,
+            label="engine.worlds",
+        )
+    else:
+        per_target = [
+            _solution_answers(target, query, tuple(target_dependencies), box)
+            for target in space
+        ]
     result: Optional[frozenset] = None
-    for target in solutions:
-        answers = per_solution(query, target, target_dependencies)
+    for answers in per_target:
         if result is None:
             result = answers
         elif intersect:

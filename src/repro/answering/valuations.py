@@ -210,6 +210,67 @@ def _pool_extras(
     )
 
 
+def _certain_chunk(chunk, query, target, target_dependencies):
+    """Worker: intersect □Q over one batch of valuations.
+
+    Returns ``(worlds_visited, answers or None)`` -- None when no
+    valuation in the batch produced a Σ_t-satisfying world, so the batch
+    contributes nothing to the global intersection.
+    """
+    worlds = 0
+    answers: Optional[Set[AnswerTuple]] = None
+    for valuation in chunk:
+        image = target.rename_values(valuation)
+        if satisfies_all(image, target_dependencies):
+            worlds += 1
+            result = query.evaluate(image)
+            answers = set(result) if answers is None else answers & result
+    return worlds, None if answers is None else frozenset(answers)
+
+
+def _maybe_chunk(chunk, query, target, target_dependencies):
+    """Worker: union ◇Q over one batch of valuations."""
+    worlds = 0
+    answers: Set[AnswerTuple] = set()
+    for valuation in chunk:
+        image = target.rename_values(valuation)
+        if satisfies_all(image, target_dependencies):
+            worlds += 1
+            answers |= query.evaluate(image)
+    return worlds, frozenset(answers)
+
+
+def _map_chunks(
+    executor,
+    worker,
+    query: Query,
+    target: Instance,
+    target_dependencies: Sequence[Dependency],
+    extras: Set[Const],
+    anchors: Optional[Iterable[Const]],
+):
+    """Fan the canonical valuations of ``target`` out over ``executor``.
+
+    Materializes the valuation stream (so ``valuations_enumerated``
+    counts in the parent) and hands batches to the workers; per-batch
+    world counts are folded back into ``worlds_visited`` here, since
+    worker-process counters never reach the parent registry.
+    """
+    items = list(valuations(target, extras, anchors=anchors))
+    per_chunk = executor.map_valuations(
+        worker,
+        items,
+        query,
+        target,
+        tuple(target_dependencies),
+        label="engine.valuations",
+    )
+    counter("answering.worlds_visited").inc(
+        sum(worlds for worlds, _ in per_chunk)
+    )
+    return [answers for _, answers in per_chunk]
+
+
 def certain_on(
     query: Query,
     target: Instance,
@@ -217,14 +278,35 @@ def certain_on(
     extra_constants: Iterable[Const] = (),
     *,
     anchors: Optional[Iterable[Const]] = None,
+    executor=None,
 ) -> AnswerSet:
     """``□Q(T)``: answers on every possible world of T.  Exact.
 
     If ``Rep_D(T)`` is empty (no valuation satisfies Σ_t -- never the
     case for a CWA-solution) the intersection is vacuous and the empty
     set is returned.
+
+    ``executor``: a :class:`repro.engine.Executor`; when parallel, the
+    valuation stream is evaluated in batches across worker processes.
+    The result is identical to the serial path (intersection is
+    order-independent), only the early exit on an empty intermediate
+    intersection is forgone.
     """
     extras = _pool_extras(query, target_dependencies, extra_constants)
+    if executor is not None and executor.parallel:
+        chunks = _map_chunks(
+            executor, _certain_chunk, query, target,
+            target_dependencies, extras, anchors,
+        )
+        answers = None
+        for chunk_answers in chunks:
+            if chunk_answers is None:
+                continue
+            answers = (
+                set(chunk_answers) if answers is None
+                else answers & chunk_answers
+            )
+        return frozenset(answers or ())
     answers: Optional[Set[AnswerTuple]] = None
     for world in rep(target, target_dependencies, extras, anchors=anchors):
         result = query.evaluate(world)
@@ -244,13 +326,24 @@ def maybe_on(
     extra_constants: Iterable[Const] = (),
     *,
     anchors: Optional[Iterable[Const]] = None,
+    executor=None,
 ) -> AnswerSet:
     """``◇Q(T)``: answers on some possible world of T.
 
     Exact for tuples over the anchor set; answers containing fresh pool
-    constants are generic witnesses (see module docstring).
+    constants are generic witnesses (see module docstring).  ``executor``
+    behaves as in :func:`certain_on`.
     """
     extras = _pool_extras(query, target_dependencies, extra_constants)
+    if executor is not None and executor.parallel:
+        chunks = _map_chunks(
+            executor, _maybe_chunk, query, target,
+            target_dependencies, extras, anchors,
+        )
+        answers = frozenset()
+        for chunk_answers in chunks:
+            answers |= chunk_answers
+        return answers
     answers: Set[AnswerTuple] = set()
     for world in rep(target, target_dependencies, extras, anchors=anchors):
         answers |= query.evaluate(world)

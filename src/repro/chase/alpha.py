@@ -27,9 +27,9 @@ by revisiting a previous state.
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..core.atoms import Atom, Substitution
+from ..core.atoms import Substitution
 from ..core.errors import DependencyError
 from ..core.instance import Instance
 from ..core.terms import NullFactory, Value
@@ -168,7 +168,9 @@ def alpha_chase(
     initial_nulls = set(instance.nulls())
     steps = 0
     log: List[ChaseStep] = []
-    seen_states: Set[FrozenSet[Atom]] = set()
+    # Cycle detection stores content fingerprints, not frozen atom sets:
+    # a 64-character digest per visited state instead of an O(|I|) copy.
+    seen_states: Set[str] = set()
     started = time.perf_counter()
     firings = counter("chase.tgd_firings")
     merges = counter("chase.egd_merges")
@@ -272,7 +274,7 @@ def alpha_chase(
                     f"egd {egd} equated distinct constants {left} and {right}",
                 )
 
-            snapshot = current.frozen()
+            snapshot = current.fingerprint()
             if snapshot in seen_states:
                 egd_stats.record(time.perf_counter() - egd_started)
                 return finish(

@@ -24,6 +24,11 @@ Settings are described in a small text format, one declaration per line
     target-dep:  F(x,y) & F(x,z) -> y = z
 
 Instances use the library DSL: ``M('a','b'), N('a','b'), N('a','c')``.
+
+``solve``, ``certain`` and ``report`` accept ``--cache DIR`` (reuse
+chase/core/answer results across invocations, content-addressed) and --
+except ``solve``, which has no per-item work to split -- ``--workers N``
+(process-pool evaluation; ``REPRO_WORKERS`` sets the default).
 """
 
 from __future__ import annotations
@@ -133,6 +138,54 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_flags(
+    subparser: argparse.ArgumentParser, *, workers: bool = True
+) -> None:
+    """``repro.engine`` flags: result cache and process-pool width."""
+    subparser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "reuse chase/core/answer results from a content-addressed "
+            "cache rooted at DIR (created on first use)"
+        ),
+    )
+    if workers:
+        subparser.add_argument(
+            "--workers",
+            metavar="N",
+            type=int,
+            default=None,
+            help=(
+                "evaluate valuations/solutions across N worker processes "
+                "(default: $REPRO_WORKERS, else 1 = serial)"
+            ),
+        )
+
+
+def _engine_from_args(args: argparse.Namespace):
+    """(cache, executor) per the engine flags; either may be None.
+
+    The executor is only instantiated when it would actually go
+    parallel, so serial invocations never pay for pool machinery.
+    """
+    cache = None
+    executor = None
+    if getattr(args, "cache", None):
+        from .engine import ResultCache
+
+        cache = ResultCache(args.cache)
+    from .engine import Executor, default_workers
+
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        workers = default_workers()
+    if workers > 1:
+        executor = Executor(workers=workers)
+    return cache, executor
+
+
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
@@ -143,12 +196,14 @@ def command_solve(args: argparse.Namespace) -> int:
 
     setting = load_setting(args.setting)
     source = load_instance(args.source, setting)
+    cache, _ = _engine_from_args(args)
     result = solve(
         setting,
         source,
         max_steps=args.max_steps,
         engine=args.engine,
         core_algorithm=args.core_algorithm,
+        cache=cache,
     )
     if not result.cwa_solution_exists:
         print("no solution exists (the chase failed on an egd)")
@@ -194,7 +249,25 @@ def command_certain(args: argparse.Namespace) -> int:
         "persistent-maybe": persistent_maybe_answers,
         "maybe": maybe_answers,
     }[args.semantics]
-    answers = semantics(setting, source, query)
+    cache, executor = _engine_from_args(args)
+    try:
+        if cache is not None:
+            from .answering.semantics import _cached_answers
+            from .engine.fingerprint import answer_key
+
+            key = answer_key(
+                setting, source, query, args.semantics.replace("-", "_")
+            )
+            answers = _cached_answers(
+                cache,
+                key,
+                lambda: semantics(setting, source, query, executor=executor),
+            )
+        else:
+            answers = semantics(setting, source, query, executor=executor)
+    finally:
+        if executor is not None:
+            executor.close()
     if query.arity == 0:
         print("true" if answers else "false")
         return 0
@@ -228,7 +301,18 @@ def command_report(args: argparse.Namespace) -> int:
 
     setting = load_setting(args.setting)
     source = load_instance(args.source, setting)
-    exchange_report = report(setting, source, max_steps=args.max_steps)
+    cache, executor = _engine_from_args(args)
+    try:
+        exchange_report = report(
+            setting,
+            source,
+            max_steps=args.max_steps,
+            cache=cache,
+            executor=executor,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     print(render(exchange_report))
     return 0 if exchange_report.status == "solved" else 1
 
@@ -280,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--core-algorithm", choices=("blockwise", "folding"), default="blockwise"
     )
+    _add_engine_flags(solve, workers=False)
     _add_obs_flags(solve)
     solve.set_defaults(run=command_solve)
 
@@ -303,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("certain", "potential-certain", "persistent-maybe", "maybe"),
         default="certain",
     )
+    _add_engine_flags(certain)
     _add_obs_flags(certain)
     certain.set_defaults(run=command_certain)
 
@@ -324,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("setting")
     report_cmd.add_argument("source")
     report_cmd.add_argument("--max-steps", type=int, default=200_000)
+    _add_engine_flags(report_cmd)
     _add_obs_flags(report_cmd)
     report_cmd.set_defaults(run=command_report)
 

@@ -14,6 +14,7 @@ chase (which adds atoms in a loop) never rebuilds them.
 
 from __future__ import annotations
 
+import hashlib
 from typing import (
     Dict,
     FrozenSet,
@@ -215,6 +216,30 @@ class Instance:
         """A hashable snapshot of the atom set (used for cycle detection)."""
         return frozenset(self._atoms)
 
+    def fingerprint(self, *, canonical: bool = False) -> str:
+        """A deterministic content digest of the atom set (sha256 hex).
+
+        The digest is computed from a length-prefixed textual encoding of
+        the atoms, sorted bytewise -- it depends only on the atom set,
+        never on ``PYTHONHASHSEED``, insertion order, or object identity.
+        Two instances are equal iff their fingerprints agree (modulo
+        sha256 collisions), which makes the digest a compact hashable
+        stand-in for :meth:`frozen` in cycle-detection ``seen`` sets.
+
+        With ``canonical=True`` the nulls are first renamed via
+        :meth:`canonical_renaming`, so instances that differ only in the
+        *names* of their nulls (when the deterministic atom order induces
+        the same renaming) hash equally -- the form used by the
+        ``repro.engine`` result cache to deduplicate semantically equal
+        inputs.
+        """
+        target = self.canonical() if canonical else self
+        digest = hashlib.sha256()
+        for token in sorted(_atom_token(item) for item in target._atoms):
+            digest.update(token)
+            digest.update(b"\x1e")
+        return digest.hexdigest()
+
     # ------------------------------------------------------------------
     # Equality and canonical forms
     # ------------------------------------------------------------------
@@ -245,8 +270,30 @@ class Instance:
         return {old: Null(index) for index, old in enumerate(ordering)}
 
     def canonical(self) -> "Instance":
-        """This instance with nulls renamed canonically."""
-        return self.rename_values(self.canonical_renaming())
+        """This instance with nulls renamed canonically.  Idempotent.
+
+        One application of :meth:`canonical_renaming` is not a fixed
+        point: renaming nulls re-sorts the atoms, which can reorder
+        first occurrences.  The renaming is therefore iterated until the
+        sequence of forms cycles (the orbit is finite -- every form uses
+        nulls 0..k-1), and the lexicographically least form of the cycle
+        is returned.  Starting from that form revisits exactly the same
+        cycle, so ``canonical(canonical(I)) == canonical(I)`` -- the
+        stability the ``repro.io`` codec and the ``repro.engine`` cache
+        keys rely on.
+        """
+        history: List[Tuple[Atom, ...]] = []
+        forms: Dict[Tuple[Atom, ...], "Instance"] = {}
+        current = self
+        while True:
+            current = current.rename_values(current.canonical_renaming())
+            key = tuple(current.sorted_atoms())
+            if key in forms:
+                start = history.index(key)
+                least = min(history[start:])
+                return forms[least]
+            history.append(key)
+            forms[key] = current
 
     def sorted_atoms(self) -> List[Atom]:
         """The atoms in deterministic order (for printing and tests)."""
@@ -267,6 +314,21 @@ class Instance:
             )
             lines.append(f"{indent}{rendered}")
         return "\n".join(lines) if lines else f"{indent}(empty)"
+
+
+def _atom_token(item: Atom) -> bytes:
+    """An injective textual encoding of a ground atom.
+
+    Cells are length-prefixed (constants) or integer-tagged (nulls) so no
+    constant name can collide with another cell's encoding.
+    """
+    parts = [f"{len(item.relation.name)}:{item.relation.name}/{item.relation.arity}"]
+    for value in item.args:
+        if isinstance(value, Null):
+            parts.append(f"n{value.ident}")
+        else:
+            parts.append(f"c{len(value.name)}:{value.name}")
+    return "\x1f".join(parts).encode("utf-8")
 
 
 def isomorphic(left: Instance, right: Instance) -> bool:

@@ -1,0 +1,54 @@
+"""``repro.engine`` -- execution engine: parallelism + result caching.
+
+Three stdlib-only pieces, usable separately or together:
+
+* :mod:`repro.engine.fingerprint` -- deterministic (hash-seed
+  independent, isomorphism-aware) sha256 digests of settings,
+  dependencies, instances, and queries; the cache's addressing scheme.
+* :mod:`repro.engine.cache` -- :class:`ResultCache`, a versioned
+  content-addressed on-disk store (``repro.engine/cache/v1``) with an
+  in-memory LRU tier, for chase outcomes, cores, and certain-answer
+  verdicts.
+* :mod:`repro.engine.executor` -- :class:`Executor`, a process-pool
+  mapper with deterministic result order and a guaranteed serial
+  fallback (``workers=1`` or unpicklable tasks).
+
+Entry points accept these as optional keyword arguments
+(``solve(..., cache=...)``, ``all_four_semantics(..., executor=...,
+cache=...)``); the CLI exposes them as ``--workers`` / ``--cache``.
+See ``docs/engine.md``.
+"""
+
+from .cache import CACHE_SCHEMA, CACHE_VERSION, ResultCache
+from .executor import WORKERS_ENV, Executor, default_workers
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    answer_key,
+    fingerprint_answers,
+    fingerprint_dependency,
+    fingerprint_instance,
+    fingerprint_query,
+    fingerprint_schema,
+    fingerprint_setting,
+    solve_key,
+    task_key,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CACHE_VERSION",
+    "Executor",
+    "FINGERPRINT_VERSION",
+    "ResultCache",
+    "WORKERS_ENV",
+    "answer_key",
+    "default_workers",
+    "fingerprint_answers",
+    "fingerprint_dependency",
+    "fingerprint_instance",
+    "fingerprint_query",
+    "fingerprint_schema",
+    "fingerprint_setting",
+    "solve_key",
+    "task_key",
+]

@@ -1,0 +1,206 @@
+"""A versioned, content-addressed result cache with an LRU memory tier.
+
+Layout on disk (``directory`` is whatever the caller passes, e.g. the
+CLI's ``--cache DIR``)::
+
+    <directory>/repro.engine/cache/v1/<kind>/<k[:2]>/<key>.json
+
+* ``v1`` is :data:`CACHE_VERSION`; bumping it orphans (never misreads)
+  old entries.
+* ``kind`` namespaces payload families: ``solve`` for chase outcomes +
+  cores, ``answers`` for certain-answer verdicts.  Keys come from
+  :mod:`repro.engine.fingerprint`, so a key is a sha256 hexdigest and
+  the two-character fan-out directory keeps directories small.
+
+Every payload is a JSON object ``{"schema": "repro.engine/v1", "kind":
+..., "key": ..., "payload": {...}}``; instances inside payloads use the
+``repro.io/v1`` codec (:func:`repro.io.instance_to_payload`), which
+round-trips nulls exactly.  Writes are atomic (tempfile + ``os.replace``)
+so a crashed writer never leaves a half-entry that a reader could trust;
+unreadable or version-mismatched entries count as misses.
+
+The in-memory tier is a bounded LRU (``memory_slots`` entries) in front
+of the disk tier; :meth:`invalidate` evicts from both.  Telemetry:
+``engine.cache.hits`` / ``.misses`` / ``.writes`` / ``.invalidations``
+counters, with memory-tier hits double-counted under
+``engine.cache.memory_hits``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Union
+
+from ..obs import counter
+
+#: Payload schema tag; every entry this module writes carries it.
+CACHE_SCHEMA = "repro.engine/v1"
+
+#: On-disk layout version (the ``v1`` path segment).
+CACHE_VERSION = "v1"
+
+#: Default size of the in-memory LRU tier.
+DEFAULT_MEMORY_SLOTS = 256
+
+PathLike = Union[str, Path]
+
+
+class ResultCache:
+    """Content-addressed store for chase outcomes, cores, and verdicts."""
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        memory_slots: int = DEFAULT_MEMORY_SLOTS,
+    ):
+        self.root = Path(directory) / "repro.engine" / "cache" / CACHE_VERSION
+        self.memory_slots = max(0, int(memory_slots))
+        self._memory: "OrderedDict[tuple, dict]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    def path_for(self, kind: str, key: str) -> Path:
+        """Where the entry for ``(kind, key)`` lives on disk."""
+        return self.root / kind / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+
+    def get(self, kind: str, key: str) -> Optional[dict]:
+        """The payload for ``(kind, key)``, or None on a miss.
+
+        Hits promote the entry to most-recently-used in the memory tier;
+        disk hits populate it.
+        """
+        slot = (kind, key)
+        found = self._memory.get(slot)
+        if found is not None:
+            self._memory.move_to_end(slot)
+            counter("engine.cache.hits").inc()
+            counter("engine.cache.memory_hits").inc()
+            return found
+        path = self.path_for(kind, key)
+        try:
+            with path.open(encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            counter("engine.cache.misses").inc()
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != CACHE_SCHEMA
+            or entry.get("key") != key
+            or "payload" not in entry
+        ):
+            counter("engine.cache.misses").inc()
+            return None
+        payload = entry["payload"]
+        self._remember(slot, payload)
+        counter("engine.cache.hits").inc()
+        return payload
+
+    def put(self, kind: str, key: str, payload: dict) -> Path:
+        """Store ``payload`` under ``(kind, key)``; returns the path.
+
+        The write is atomic: a sibling tempfile is renamed over the
+        final path, so concurrent readers see either the old entry or
+        the complete new one.
+        """
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "kind": kind,
+            "key": key,
+            "payload": payload,
+        }
+        text = json.dumps(entry, sort_keys=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self._remember((kind, key), payload)
+        counter("engine.cache.writes").inc()
+        return path
+
+    def _remember(self, slot: tuple, payload: dict) -> None:
+        if self.memory_slots <= 0:
+            return
+        self._memory[slot] = payload
+        self._memory.move_to_end(slot)
+        while len(self._memory) > self.memory_slots:
+            self._memory.popitem(last=False)
+            counter("engine.cache.evictions").inc()
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate(
+        self, kind: Optional[str] = None, key: Optional[str] = None
+    ) -> int:
+        """Drop entries from both tiers; returns how many disk entries went.
+
+        ``invalidate()`` clears everything, ``invalidate(kind)`` one
+        payload family, ``invalidate(kind, key)`` a single entry.
+        """
+        if key is not None and kind is None:
+            raise ValueError("invalidating by key needs a kind")
+        removed = 0
+        if kind is None:
+            self._memory.clear()
+            removed = sum(1 for _ in self.root.glob("*/*/*.json"))
+            for entry in self.root.glob("*/*/*.json"):
+                entry.unlink(missing_ok=True)
+        elif key is None:
+            for slot in [s for s in self._memory if s[0] == kind]:
+                del self._memory[slot]
+            for entry in (self.root / kind).glob("*/*.json"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        else:
+            self._memory.pop((kind, key), None)
+            path = self.path_for(kind, key)
+            if path.exists():
+                path.unlink()
+                removed = 1
+        counter("engine.cache.invalidations").inc(removed)
+        return removed
+
+    def clear(self) -> int:
+        """Alias for full invalidation."""
+        return self.invalidate()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of entries on disk."""
+        return sum(1 for _ in self.root.glob("*/*/*.json"))
+
+    def memory_size(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.root)!r}, disk={len(self)}, "
+            f"memory={self.memory_size()}/{self.memory_slots})"
+        )

@@ -1,0 +1,222 @@
+"""A process-pool executor with a guaranteed serial fallback.
+
+The expensive per-item work in this codebase -- chasing one possible
+world, evaluating a query under one batch of valuations, deciding one
+semantics for one query -- is embarrassingly parallel, and every input
+(settings, instances, queries, valuations) is picklable.  This module
+wraps :class:`concurrent.futures.ProcessPoolExecutor` with the policy
+the rest of the library relies on:
+
+* **Determinism.**  Results always come back in submission order, so a
+  parallel run is byte-identical to ``workers=1`` (asserted by the
+  engine test suite on all four answer semantics).
+* **Graceful degradation.**  With ``workers <= 1``, or when a task
+  fails an upfront pickle probe, work runs serially in-process -- same
+  results, no pool.  ``REPRO_WORKERS`` sets the default width.
+* **Telemetry.**  ``engine.tasks_dispatched`` counts items handed to
+  the pool, ``engine.serial_tasks`` items run in-process,
+  ``engine.pickle_fallbacks`` probe failures; per-worker wall time
+  accumulates in the ``engine.worker`` span stats (recorded by the
+  parent from timings measured inside the workers).
+
+Worker callables must be module-level functions (fork + pickle); the
+higher-level entry points (:meth:`Executor.map_worlds`,
+:meth:`Executor.map_valuations`, :meth:`Executor.batch_answer`) ship
+their own.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..obs import counter, span_stats
+
+#: Environment variable consulted for the default pool width.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """Pool width from ``REPRO_WORKERS`` (default 1 = serial)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _timed(payload: Tuple[Callable, tuple]) -> Tuple[float, object]:
+    """Run one task in a worker, returning (elapsed seconds, result)."""
+    fn, args = payload
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
+
+
+class Executor:
+    """Maps functions over items, in processes when it pays off.
+
+    ``workers=None`` reads :func:`default_workers`.  The underlying pool
+    is created lazily on first parallel dispatch and reused until
+    :meth:`close`; the instance is a context manager.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = default_workers() if workers is None else max(1, workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self._pool is not None else "idle"
+        return f"Executor(workers={self.workers}, pool={state})"
+
+    # ------------------------------------------------------------------
+    # Core mapping primitive
+    # ------------------------------------------------------------------
+
+    def map_tasks(
+        self,
+        fn: Callable,
+        arg_tuples: Iterable[tuple],
+        *,
+        label: str = "engine.worker",
+    ) -> List[object]:
+        """``[fn(*args) for args in arg_tuples]``, possibly in processes.
+
+        Results are returned in submission order regardless of worker
+        completion order.  Falls back to serial execution when the pool
+        is unavailable, the task list is trivial, or ``(fn, first_args)``
+        does not pickle.
+        """
+        tasks = list(arg_tuples)
+        if not tasks:
+            return []
+        if self.parallel and len(tasks) > 1 and self._picklable(fn, tasks[0]):
+            return self._map_parallel(fn, tasks, label)
+        counter("engine.serial_tasks").inc(len(tasks))
+        return [fn(*args) for args in tasks]
+
+    def _picklable(self, fn: Callable, first: tuple) -> bool:
+        try:
+            pickle.dumps((fn, first))
+        except Exception:
+            counter("engine.pickle_fallbacks").inc()
+            return False
+        return True
+
+    def _map_parallel(
+        self, fn: Callable, tasks: List[tuple], label: str
+    ) -> List[object]:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        counter("engine.tasks_dispatched").inc(len(tasks))
+        stats = span_stats(label)
+        results: List[object] = []
+        try:
+            for elapsed, result in self._pool.map(
+                _timed, [(fn, args) for args in tasks]
+            ):
+                stats.record(elapsed)
+                results.append(result)
+        except (pickle.PicklingError, AttributeError, TypeError):
+            # A later task failed to pickle after the probe passed (e.g.
+            # an unpicklable closure deep inside one argument): redo the
+            # whole batch serially so callers still get every result.
+            counter("engine.pickle_fallbacks").inc()
+            counter("engine.serial_tasks").inc(len(tasks))
+            return [fn(*args) for args in tasks]
+        return results
+
+    # ------------------------------------------------------------------
+    # Domain-level entry points
+    # ------------------------------------------------------------------
+
+    def map_worlds(
+        self,
+        fn: Callable,
+        worlds: Iterable,
+        *extra_args,
+        label: str = "engine.worlds",
+    ) -> List[object]:
+        """Apply ``fn(world, *extra_args)`` to each possible world /
+        solution in a space, preserving order."""
+        return self.map_tasks(
+            fn, [(world, *extra_args) for world in worlds], label=label
+        )
+
+    def map_valuations(
+        self,
+        fn: Callable,
+        valuations: Iterable,
+        *extra_args,
+        chunk_size: Optional[int] = None,
+        label: str = "engine.valuations",
+    ) -> List[object]:
+        """Apply ``fn(chunk, *extra_args)`` to chunks of a valuation
+        stream; returns per-chunk results in order.
+
+        Valuations are tiny dicts but very numerous, so they are batched
+        (about four chunks per worker by default) to amortize the IPC
+        cost of a process round trip.
+        """
+        items = list(valuations)
+        if not items:
+            return []
+        if chunk_size is None:
+            chunk_size = max(1, len(items) // (self.workers * 4) or 1)
+        chunks = [
+            items[start : start + chunk_size]
+            for start in range(0, len(items), chunk_size)
+        ]
+        return self.map_tasks(
+            fn, [(chunk, *extra_args) for chunk in chunks], label=label
+        )
+
+    def batch_answer(
+        self,
+        setting,
+        source,
+        queries: Sequence,
+        semantics: str = "certain",
+        *,
+        cache=None,
+    ) -> List[frozenset]:
+        """Answer many queries under one semantics, one task per query.
+
+        ``semantics`` is one of the four names accepted by
+        :class:`repro.answering.decision.AnswerLanguage.SEMANTICS`.
+        """
+        from ..answering.semantics import _semantics_fn  # lazy: avoid cycle
+
+        answer = _semantics_fn(semantics)
+        results = self.map_worlds(
+            answer,
+            queries,
+            setting,
+            source,
+            label="engine.batch_answer",
+        )
+        return list(results)

@@ -39,11 +39,14 @@ class ExchangeReport:
         source: Instance,
         result: Optional[ExchangeResult],
         diverged: Optional[str],
+        *,
+        executor=None,
     ):
         self.setting = setting
         self.source = source
         self.result = result
         self.diverged = diverged
+        self.executor = executor
         self.justifications: List[Tuple[str, str]] = []
         #: Per target relation: (name, |certain□|, |maybe◇|) on the core.
         self.answer_samples: List[Tuple[str, int, int]] = []
@@ -95,8 +98,12 @@ class ExchangeReport:
                 query = ConjunctiveQuery(
                     variables, [Atom(relation, variables)]
                 )
-                certain = certain_on(query, minimal, dependencies)
-                maybe = maybe_on(query, minimal, dependencies)
+                certain = certain_on(
+                    query, minimal, dependencies, executor=self.executor
+                )
+                maybe = maybe_on(
+                    query, minimal, dependencies, executor=self.executor
+                )
                 self.answer_samples.append((name, len(certain), len(maybe)))
 
     @property
@@ -113,6 +120,8 @@ def report(
     source: Instance,
     *,
     max_steps: int = 200_000,
+    cache=None,
+    executor=None,
 ) -> ExchangeReport:
     """Build the report; chase divergence is captured, not raised.
 
@@ -120,11 +129,17 @@ def report(
     run did (``report.metrics``); the snapshot is cumulative for the
     process-wide registry -- call :func:`repro.obs.reset` first for a
     per-report reading.
+
+    ``cache`` (a :class:`repro.engine.ResultCache`) lets a repeated
+    report skip the chase and core entirely; ``executor`` parallelizes
+    the answer-sample valuation sweeps.
     """
     with span("report"):
         try:
-            result = solve(setting, source, max_steps=max_steps)
-            built = ExchangeReport(setting, source, result, None)
+            result = solve(setting, source, max_steps=max_steps, cache=cache)
+            built = ExchangeReport(
+                setting, source, result, None, executor=executor
+            )
         except ChaseDivergence as divergence:
             built = ExchangeReport(setting, source, None, str(divergence))
     built.metrics = get_telemetry().snapshot()

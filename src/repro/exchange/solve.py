@@ -17,7 +17,8 @@ from ..chase.seminaive import seminaive_chase
 from ..chase.standard import DEFAULT_MAX_STEPS, standard_chase
 from ..homomorphism.blocks import blockwise_core
 from ..homomorphism.core_computation import core
-from ..obs import gauge, span
+from ..io import instance_from_payload, instance_to_payload
+from ..obs import counter, gauge, span
 from .setting import DataExchangeSetting
 
 CHASE_ENGINES = {
@@ -84,6 +85,7 @@ def solve(
     compute_core: bool = True,
     engine: str = "standard",
     core_algorithm: str = "blockwise",
+    cache=None,
 ) -> ExchangeResult:
     """Run the data exchange for ``source`` under ``setting``.
 
@@ -99,6 +101,12 @@ def solve(
     hom-equivalent canonical solutions and identical cores.
     ``core_algorithm`` is "blockwise" (Gaifman-block folding with exact
     fallback) or "folding" (global endomorphism folding).
+
+    ``cache``: a :class:`repro.engine.ResultCache`; hits skip the chase
+    and core computation entirely.  The key covers the setting, the
+    source (up to isomorphism), ``max_steps``, ``engine``, and
+    ``core_algorithm``; chase *failures* are cached (they are definitive
+    verdicts), divergence is not (a larger budget might succeed).
     """
     setting.validate_source(source)
     try:
@@ -115,20 +123,90 @@ def solve(
             f"unknown core algorithm {core_algorithm!r}; pick one of "
             f"{sorted(CORE_ALGORITHMS)}"
         ) from None
+    key = None
+    if cache is not None:
+        from ..engine.fingerprint import solve_key  # lazy: engine is optional
+
+        key = solve_key(
+            setting,
+            source,
+            max_steps=max_steps,
+            engine=engine,
+            core_algorithm=core_algorithm,
+        )
+        hit = cache.get("solve", key)
+        if hit is not None:
+            result = _result_from_payload(setting, source, hit)
+            if result is not None:
+                if result.core_solution is None and compute_core and (
+                    result.canonical_solution is not None
+                ):
+                    # Cached by a compute_core=False caller: finish the
+                    # job from the cached canonical and upgrade the entry.
+                    with span("solve.core_from_cache"):
+                        result.core_solution = core_of(
+                            result.canonical_solution
+                        )
+                    cache.put("solve", key, _result_to_payload(result))
+                counter("solve.cache_hits").inc()
+                return result
     with span("solve"):
         outcome = chase(
             source, list(setting.all_dependencies), max_steps=max_steps
         )
-        if outcome.status is ChaseStatus.FAILURE:
-            return ExchangeResult(setting, source, None, None, outcome.steps)
         if outcome.status is ChaseStatus.DIVERGED:
             raise ChaseDivergence(outcome.steps, outcome.reason)
-        canonical = outcome.instance.reduct(setting.target_schema)
-        gauge("instance.nulls").set(len(canonical.nulls()))
-        core_instance = core_of(canonical) if compute_core else None
-        return ExchangeResult(
-            setting, source, canonical, core_instance, outcome.steps
+        if outcome.status is ChaseStatus.FAILURE:
+            result = ExchangeResult(setting, source, None, None, outcome.steps)
+        else:
+            canonical = outcome.instance.reduct(setting.target_schema)
+            gauge("instance.nulls").set(len(canonical.nulls()))
+            core_instance = core_of(canonical) if compute_core else None
+            result = ExchangeResult(
+                setting, source, canonical, core_instance, outcome.steps
+            )
+    if cache is not None:
+        cache.put("solve", key, _result_to_payload(result))
+    return result
+
+
+def _result_to_payload(result: ExchangeResult) -> dict:
+    """JSON-serializable form of an :class:`ExchangeResult` (sans inputs)."""
+    return {
+        "status": "solved" if result.canonical_solution is not None else "failed",
+        "chase_steps": result.chase_steps,
+        "canonical": (
+            instance_to_payload(result.canonical_solution)
+            if result.canonical_solution is not None
+            else None
+        ),
+        "core": (
+            instance_to_payload(result.core_solution)
+            if result.core_solution is not None
+            else None
+        ),
+    }
+
+
+def _result_from_payload(
+    setting: DataExchangeSetting, source: Instance, payload: dict
+) -> Optional[ExchangeResult]:
+    """Rebuild a cached result; None when the payload is unusable."""
+    try:
+        canonical = (
+            instance_from_payload(payload["canonical"], setting.target_schema)
+            if payload.get("canonical") is not None
+            else None
         )
+        core_instance = (
+            instance_from_payload(payload["core"], setting.target_schema)
+            if payload.get("core") is not None
+            else None
+        )
+        steps = int(payload["chase_steps"])
+    except (ReproError, KeyError, TypeError, ValueError):
+        return None
+    return ExchangeResult(setting, source, canonical, core_instance, steps)
 
 
 def existence_of_cwa_solutions(

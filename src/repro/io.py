@@ -1,4 +1,4 @@
-"""Loading and saving instances as CSV directories.
+"""Loading and saving instances: CSV directories and a JSON codec.
 
 A practical data exchange tool needs to ingest real tables.  This module
 maps a directory of CSV files to an :class:`Instance` and back:
@@ -13,11 +13,21 @@ maps a directory of CSV files to an :class:`Instance` and back:
 
 The reader validates arities against a schema when one is given, and
 infers relation symbols from the data otherwise.
+
+The **JSON codec** (:func:`dumps_instance` / :func:`loads_instance`,
+schema ``repro.io/v1``) is the lossless sibling of the CSV format: cells
+are *typed* (``["c", name]`` for constants, ``["n", ident]`` for nulls),
+so constants whose name merely looks like a null literal (``"_:3"``) --
+the cases :func:`roundtrip_safe` warns about -- survive unchanged, and
+null identity is preserved exactly, including under
+:meth:`Instance.canonical_renaming`.  The ``repro.engine`` result cache
+stores every instance payload through this codec.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 import re
 from pathlib import Path
 from typing import List, Optional, Union
@@ -134,12 +144,159 @@ def dump_instance(
     return written
 
 
+# ----------------------------------------------------------------------
+# JSON codec (repro.io/v1)
+# ----------------------------------------------------------------------
+
+#: Version tag embedded in every JSON payload this module writes.
+JSON_SCHEMA = "repro.io/v1"
+
+
+def cell_to_json(value: Value) -> List:
+    """A typed JSON cell: ``["c", name]`` or ``["n", ident]``.
+
+    Unlike the CSV convention this is injective on all of ``Dom``: a
+    constant literally named ``"_:3"`` stays distinguishable from
+    ``Null(3)``.
+    """
+    if isinstance(value, Null):
+        return ["n", value.ident]
+    return ["c", value.name]
+
+
+def cell_from_json(cell) -> Value:
+    """Inverse of :func:`cell_to_json`."""
+    try:
+        tag, payload = cell
+    except (TypeError, ValueError):
+        raise ReproError(f"malformed JSON cell {cell!r}") from None
+    if tag == "n":
+        return Null(int(payload))
+    if tag == "c":
+        return Const(str(payload))
+    raise ReproError(f"unknown JSON cell tag {tag!r} in {cell!r}")
+
+
+def instance_to_payload(instance: Instance, *, canonical: bool = False) -> dict:
+    """The instance as a plain JSON-serializable dict (``repro.io/v1``).
+
+    Rows are emitted in deterministic (sorted-atom) order, so equal
+    instances produce equal payloads regardless of insertion order.
+    With ``canonical=True`` the nulls are renamed via
+    :meth:`Instance.canonical_renaming` first -- the form stored by the
+    ``repro.engine`` cache, where keys are canonical fingerprints.
+    """
+    if canonical:
+        instance = instance.canonical()
+    relations = {}
+    for name in instance.relation_names():
+        atoms = sorted(instance.atoms_of(name))
+        relations[name] = {
+            "arity": atoms[0].relation.arity,
+            "rows": [
+                [cell_to_json(value) for value in item.args] for item in atoms
+            ],
+        }
+    return {"schema": JSON_SCHEMA, "relations": relations}
+
+
+def instance_from_payload(
+    payload: dict, schema: Optional[Schema] = None
+) -> Instance:
+    """Rebuild an instance from :func:`instance_to_payload` output.
+
+    With a schema, relation names are resolved against it (and validated);
+    without one, relation symbols are inferred from the payload.
+    """
+    if not isinstance(payload, dict):
+        raise ReproError(f"instance payload must be an object, got {payload!r}")
+    version = payload.get("schema")
+    if version != JSON_SCHEMA:
+        raise ReproError(
+            f"unsupported instance payload schema {version!r} "
+            f"(expected {JSON_SCHEMA!r})"
+        )
+    instance = Instance()
+    for name, body in payload.get("relations", {}).items():
+        arity = int(body["arity"])
+        if schema is not None:
+            relation = schema.get(name)
+            if relation is None:
+                raise SchemaError(
+                    f"relation {name!r} from the payload is not in the schema"
+                )
+            if relation.arity != arity:
+                raise SchemaError(
+                    f"payload arity {arity} for {name!r} does not match the "
+                    f"schema arity {relation.arity}"
+                )
+        else:
+            relation = RelationSymbol(name, arity)
+        for row in body.get("rows", ()):
+            if len(row) != arity:
+                raise SchemaError(
+                    f"{name!r} row {row!r} has {len(row)} cells, expected {arity}"
+                )
+            instance.add(
+                Atom(relation, tuple(cell_from_json(cell) for cell in row))
+            )
+    return instance
+
+
+def answers_to_json(answers) -> List[List[List]]:
+    """An answer set as sorted rows of typed cells (``repro.io/v1``).
+
+    Deterministic: rows are sorted, so equal answer sets encode equally.
+    """
+    return sorted(
+        [cell_to_json(value) for value in row] for row in answers
+    )
+
+
+def answers_from_json(rows) -> frozenset:
+    """Inverse of :func:`answers_to_json`."""
+    if not isinstance(rows, list):
+        raise ReproError(f"answer rows must be a list, got {rows!r}")
+    return frozenset(
+        tuple(cell_from_json(cell) for cell in row) for row in rows
+    )
+
+
+def dumps_instance(
+    instance: Instance,
+    *,
+    canonical: bool = False,
+    indent: Optional[int] = None,
+) -> str:
+    """Serialize an instance to a versioned JSON string (``repro.io/v1``).
+
+    The output is deterministic (sorted keys, sorted rows); equal
+    instances serialize to equal strings.
+    """
+    return json.dumps(
+        instance_to_payload(instance, canonical=canonical),
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def loads_instance(text: str, schema: Optional[Schema] = None) -> Instance:
+    """Inverse of :func:`dumps_instance`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"invalid instance JSON: {error}") from None
+    return instance_from_payload(payload, schema)
+
+
 def roundtrip_safe(instance: Instance) -> bool:
     """True if every constant survives the CSV round trip unchanged.
 
     Constants whose name *looks like* a null literal (``_:3``) or that
     carry leading/trailing whitespace would be re-read differently;
-    :func:`dump_instance` callers can check this first.
+    :func:`dump_instance` callers can check this first.  The JSON codec
+    (:func:`dumps_instance`) has no such unsafe constants -- its cells
+    are typed.
     """
     for value in instance.active_domain():
         if isinstance(value, Const):

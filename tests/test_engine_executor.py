@@ -1,0 +1,192 @@
+"""The process-pool executor: determinism, fallbacks, and wiring.
+
+The load-bearing guarantee: for every entry point that accepts an
+``executor``, a parallel run returns *exactly* what the serial run
+returns -- same answer sets, same solution spaces up to isomorphism.
+"""
+
+import os
+
+import pytest
+
+import repro.obs as obs
+from repro.answering.decision import AnswerLanguage
+from repro.answering.semantics import all_four_semantics, answers_over_space
+from repro.core.instance import isomorphic
+from repro.cwa.enumeration import enumerate_cwa_solutions
+from repro.engine import Executor, default_workers
+from repro.engine.executor import WORKERS_ENV
+from repro.generators.settings_library import (
+    example_2_1_setting,
+    example_2_1_source,
+    example_5_3_setting,
+    example_5_3_source,
+)
+from repro.logic import parse_query
+
+SEMANTICS = ("certain", "potential_certain", "persistent_maybe", "maybe")
+
+
+def _square(x):
+    return x * x
+
+
+def _concat_chunk(chunk, suffix):
+    return [item + suffix for item in chunk]
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestDefaults:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert default_workers() == 1
+        assert not Executor().parallel
+
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert default_workers() == 3
+        assert Executor().workers == 3
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        assert default_workers() == 1
+
+    def test_explicit_workers_win(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert Executor(workers=2).workers == 2
+
+
+class TestMapTasks:
+    def test_serial_map(self):
+        with Executor(workers=1) as executor:
+            assert executor.map_worlds(_square, [3, 1, 2]) == [9, 1, 4]
+        assert obs.snapshot()["counters"]["engine.serial_tasks"] == 3
+
+    def test_parallel_map_preserves_order(self):
+        with Executor(workers=2) as executor:
+            result = executor.map_worlds(_square, list(range(16)))
+        assert result == [x * x for x in range(16)]
+        found = obs.snapshot()["counters"]
+        assert found["engine.tasks_dispatched"] == 16
+
+    def test_parallel_records_worker_time(self):
+        with Executor(workers=2) as executor:
+            executor.map_worlds(_square, list(range(4)))
+        spans = obs.snapshot()["spans"]
+        assert spans["engine.worlds"]["count"] == 4
+
+    def test_unpicklable_falls_back_to_serial(self):
+        with Executor(workers=2) as executor:
+            result = executor.map_tasks(lambda x: x + 1, [(1,), (2,)])
+        assert result == [2, 3]
+        found = obs.snapshot()["counters"]
+        assert found["engine.pickle_fallbacks"] == 1
+        assert found.get("engine.tasks_dispatched", 0) == 0
+
+    def test_empty_input(self):
+        with Executor(workers=2) as executor:
+            assert executor.map_worlds(_square, []) == []
+
+    def test_map_valuations_chunks(self):
+        with Executor(workers=2) as executor:
+            chunks = executor.map_valuations(
+                _concat_chunk, ["a", "b", "c", "d", "e"], "!", chunk_size=2
+            )
+        flattened = [item for chunk in chunks for item in chunk]
+        assert flattened == ["a!", "b!", "c!", "d!", "e!"]
+
+
+class TestSemanticsParity:
+    def test_all_four_semantics_identical(self):
+        setting = example_2_1_setting()
+        source = example_2_1_source()
+        query = parse_query("Q(x) :- E(x, y)")
+        serial = all_four_semantics(setting, source, query)
+        with Executor(workers=2) as executor:
+            parallel = all_four_semantics(
+                setting, source, query, executor=executor
+            )
+        assert serial == parallel
+
+    def test_answers_over_space_identical(self):
+        setting = example_2_1_setting()
+        source = example_2_1_source()
+        query = parse_query("Q(x) :- G(x, y)")
+        space = enumerate_cwa_solutions(setting, source)
+        with Executor(workers=2) as executor:
+            for mode in SEMANTICS:
+                serial = answers_over_space(
+                    query, space, setting.target_dependencies, mode
+                )
+                parallel = answers_over_space(
+                    query,
+                    space,
+                    setting.target_dependencies,
+                    mode,
+                    executor=executor,
+                )
+                assert serial == parallel, mode
+
+    def test_batch_answer_matches_singles(self):
+        setting = example_2_1_setting()
+        source = example_2_1_source()
+        queries = [
+            parse_query("Q(x) :- E(x, y)"),
+            parse_query("Q(x) :- F(x, y)"),
+            parse_query("Q(x, y) :- E(x, y)"),
+        ]
+        singles = [
+            all_four_semantics(setting, source, query)["certain"]
+            for query in queries
+        ]
+        with Executor(workers=2) as executor:
+            batched = executor.batch_answer(
+                setting, source, queries, "certain"
+            )
+        assert batched == singles
+
+    def test_batch_answer_rejects_unknown_semantics(self):
+        from repro.core.errors import ReproError
+
+        with Executor(workers=1) as executor:
+            with pytest.raises(ReproError):
+                executor.batch_answer(
+                    example_2_1_setting(), example_2_1_source(), [], "nope"
+                )
+
+
+class TestEnumerationParity:
+    @pytest.mark.parametrize("pairs", [1, 2])
+    def test_example_5_3_space(self, pairs):
+        setting = example_5_3_setting()
+        source = example_5_3_source(pairs)
+        serial = enumerate_cwa_solutions(setting, source)
+        with Executor(workers=2) as executor:
+            parallel = enumerate_cwa_solutions(
+                setting, source, executor=executor
+            )
+        assert len(serial) == len(parallel)
+        for candidate in serial:
+            assert any(isomorphic(candidate, other) for other in parallel)
+
+
+class TestDecisionParity:
+    def test_general_setting_membership(self):
+        # Example 5.3 settings are outside the CanSol classes, so the
+        # decision procedure walks the enumerated space -- the branch
+        # the executor parallelizes.
+        setting = example_5_3_setting()
+        source = example_5_3_source(1)
+        query = parse_query("Q() :- E(x, y, z)", setting.target_schema)
+        serial = AnswerLanguage(setting, query, "maybe")
+        with Executor(workers=2) as executor:
+            parallel = AnswerLanguage(
+                setting, query, "maybe", executor=executor
+            )
+            assert serial(source, ()) == parallel(source, ())

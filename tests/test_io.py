@@ -4,10 +4,19 @@ import pytest
 
 from repro.core import Const, Instance, Null, ReproError, Schema, SchemaError, atom, RelationSymbol
 from repro.io import (
+    JSON_SCHEMA,
+    answers_from_json,
+    answers_to_json,
+    cell_from_json,
+    cell_to_json,
     dump_instance,
+    dumps_instance,
     format_cell,
+    instance_from_payload,
+    instance_to_payload,
     load_instance,
     load_relation,
+    loads_instance,
     parse_cell,
     roundtrip_safe,
 )
@@ -109,6 +118,90 @@ class TestRoundtripSafety:
     def test_null_lookalike_unsafe(self):
         inst = Instance([atom(E, "_:3", "b")])
         assert not roundtrip_safe(inst)
+
+
+class TestJsonCells:
+    def test_constant_cell(self):
+        assert cell_to_json(Const("alice")) == ["c", "alice"]
+        assert cell_from_json(["c", "alice"]) == Const("alice")
+
+    def test_null_cell(self):
+        assert cell_to_json(Null(7)) == ["n", 7]
+        assert cell_from_json(["n", 7]) == Null(7)
+
+    def test_null_lookalike_survives(self):
+        # The CSV format's unsafe constant is perfectly safe here.
+        assert cell_from_json(cell_to_json(Const("_:3"))) == Const("_:3")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ReproError):
+            cell_from_json(["x", 1])
+
+    def test_malformed_cell_rejected(self):
+        with pytest.raises(ReproError):
+            cell_from_json("nope")
+
+
+class TestJsonInstanceCodec:
+    def test_roundtrip_with_nulls(self):
+        instance = parse_instance("E('a', #1), E(#1, #2), P('_:3')")
+        assert loads_instance(dumps_instance(instance)) == instance
+
+    def test_payload_is_versioned(self):
+        payload = instance_to_payload(parse_instance("P('a')"))
+        assert payload["schema"] == JSON_SCHEMA
+
+    def test_deterministic_output(self):
+        forward = parse_instance("E('a','b'), E('b','c'), P('a')")
+        backward = parse_instance("P('a'), E('b','c'), E('a','b')")
+        assert dumps_instance(forward) == dumps_instance(backward)
+
+    def test_canonical_mode_aligns_isomorphic_instances(self):
+        left = parse_instance("E('a', #1), E(#1, #5)")
+        right = parse_instance("E('a', #8), E(#8, #2)")
+        assert dumps_instance(left, canonical=True) == dumps_instance(
+            right, canonical=True
+        )
+
+    def test_wrong_schema_version_rejected(self):
+        payload = instance_to_payload(parse_instance("P('a')"))
+        payload["schema"] = "repro.io/v0"
+        with pytest.raises(ReproError):
+            instance_from_payload(payload)
+
+    def test_schema_validation(self):
+        payload = instance_to_payload(parse_instance("E('a','b')"))
+        schema = Schema.of(E=2)
+        assert instance_from_payload(payload, schema) == parse_instance(
+            "E('a','b')"
+        )
+        with pytest.raises(SchemaError):
+            instance_from_payload(payload, Schema.of(F=2))
+        with pytest.raises(SchemaError):
+            instance_from_payload(payload, Schema.of(E=3))
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ReproError):
+            loads_instance("{not json")
+
+    def test_empty_instance(self):
+        assert loads_instance(dumps_instance(Instance())) == Instance()
+
+
+class TestAnswersCodec:
+    def test_roundtrip(self):
+        answers = frozenset(
+            [(Const("a"), Null(1)), (Const("b"), Const("c"))]
+        )
+        assert answers_from_json(answers_to_json(answers)) == answers
+
+    def test_deterministic(self):
+        rows = [(Const("b"),), (Const("a"),)]
+        assert answers_to_json(rows) == answers_to_json(list(reversed(rows)))
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ReproError):
+            answers_from_json({"not": "a list"})
 
 
 class TestExchangePipeline:

@@ -169,3 +169,36 @@ def test_theorem_4_8_random(case):
             source, candidate
         ) and is_cwa_presolution(setting, source, candidate)
         assert left == right
+
+
+@given(setting_and_source())
+@settings(max_examples=30, deadline=None)
+def test_json_codec_roundtrips_solutions(case):
+    """repro.io/v1 round-trips every chase artifact exactly.
+
+    Unlike the CSV format (guarded by roundtrip_safe) the JSON codec has
+    no unsafe constants: typed cells preserve null identity and any
+    constant spelling, so encode∘decode is the identity on the canonical
+    solution -- the payload the repro.engine cache stores.
+    """
+    from repro.io import dumps_instance, loads_instance
+
+    setting, source = case
+    assert loads_instance(dumps_instance(source)) == source
+    canonical = setting.canonical_universal_solution(source)
+    if canonical is not None:
+        assert loads_instance(dumps_instance(canonical)) == canonical
+        text = dumps_instance(canonical, canonical=True)
+        reloaded = loads_instance(text, setting.target_schema)
+        assert dumps_instance(reloaded, canonical=True) == text
+
+
+@given(source_instances())
+@settings(max_examples=50, deadline=None)
+def test_fingerprint_insertion_order_invariance(source):
+    """Instance.fingerprint never depends on atom insertion order."""
+    reordered = Instance(list(reversed(sorted(source))))
+    assert source.fingerprint() == reordered.fingerprint()
+    assert source.fingerprint(canonical=True) == reordered.fingerprint(
+        canonical=True
+    )
