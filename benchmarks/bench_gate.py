@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Standalone benchmark regression gate.
+
+Thin wrapper so the gate can run without installing the package::
+
+    python benchmarks/bench_gate.py BASELINE FRESH [--tolerance 0.25]
+
+The full logic lives in :mod:`repro.benchgate` (also exposed as the
+``repro bench-compare`` CLI subcommand); see that module for the gating
+rules.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchgate import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

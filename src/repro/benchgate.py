@@ -1,0 +1,202 @@
+"""The benchmark regression gate behind ``repro bench-compare``.
+
+The benchmark harness (``benchmarks/conftest.py``) writes flat
+``repro.bench/v1`` JSON files -- ``BENCH_chase.json`` etc. -- after
+every session, and those files are committed, so the perf trajectory
+accumulates in version control.  This module makes that trajectory
+*self-enforcing* instead of write-only: it diffs the medians of a fresh
+benchmark run against a committed baseline and exits nonzero when any
+benchmark regressed beyond a configurable tolerance.
+
+Only ``<name>.median_seconds`` keys participate: medians are the stable
+timing statistic; ``counter.*`` entries are workload descriptors (how
+many firings, how many hom searches) and ``.rounds`` depends on machine
+speed, so neither is gated on.
+
+Used three ways:
+
+* ``repro bench-compare BASELINE FRESH [--tolerance 0.25]`` (the CLI);
+* ``benchmarks/bench_gate.py`` (standalone script, same flags);
+* the ``bench-gate`` CI job, which copies the committed baseline aside,
+  re-runs one quick benchmark family, and compares.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .core.errors import ReproError
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: Default allowed slowdown: fresh median may exceed baseline by 25%.
+#: Benchmarks run on shared CI machines; single-digit-percent noise is
+#: routine, so the default gates against real regressions only.  Local
+#: runs on quiet machines can tighten it (the acceptance bar for this
+#: repo's observability layer is --tolerance 0.03 on BENCH_chase.json).
+DEFAULT_TOLERANCE = 0.25
+
+_MEDIAN_SUFFIX = ".median_seconds"
+
+
+class BenchDelta:
+    """One benchmark's baseline/fresh median pair and its verdict."""
+
+    __slots__ = ("name", "baseline", "fresh", "tolerance")
+
+    def __init__(self, name: str, baseline: float, fresh: float, tolerance: float):
+        self.name = name
+        self.baseline = baseline
+        self.fresh = fresh
+        self.tolerance = tolerance
+
+    @property
+    def ratio(self) -> float:
+        """fresh / baseline; 1.0 when the baseline median is zero."""
+        return self.fresh / self.baseline if self.baseline > 0 else 1.0
+
+    @property
+    def regressed(self) -> bool:
+        return self.fresh > self.baseline * (1.0 + self.tolerance)
+
+    @property
+    def verdict(self) -> str:
+        if self.regressed:
+            return "REGRESSED"
+        if self.fresh < self.baseline:
+            return "improved"
+        return "ok"
+
+
+def load_bench(path: str) -> Dict[str, float]:
+    """Load one ``repro.bench/v1`` file; returns its flat record dict."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ReproError(f"cannot read benchmark file {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ReproError(f"invalid benchmark JSON in {path}: {error}") from None
+    if not isinstance(payload, dict):
+        raise ReproError(f"{path}: expected a JSON object")
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ReproError(
+            f"{path}: unsupported benchmark schema {schema!r} "
+            f"(expected {BENCH_SCHEMA!r})"
+        )
+    return payload
+
+
+def medians(record: Dict[str, float]) -> Dict[str, float]:
+    """The ``<name> -> median seconds`` entries of one bench record."""
+    return {
+        key[: -len(_MEDIAN_SUFFIX)]: float(value)
+        for key, value in record.items()
+        if key.endswith(_MEDIAN_SUFFIX)
+    }
+
+
+def compare(
+    baseline: Dict[str, float],
+    fresh: Dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[BenchDelta]:
+    """Pair up medians present in both records, sorted by name."""
+    base_medians = medians(baseline)
+    fresh_medians = medians(fresh)
+    return [
+        BenchDelta(name, base_medians[name], fresh_medians[name], tolerance)
+        for name in sorted(base_medians.keys() & fresh_medians.keys())
+    ]
+
+
+def render(
+    deltas: Sequence[BenchDelta],
+    *,
+    baseline_only: Sequence[str] = (),
+    fresh_only: Sequence[str] = (),
+) -> str:
+    """A fixed-width verdict table plus coverage warnings."""
+    lines: List[str] = []
+    if deltas:
+        width = max(len(delta.name) for delta in deltas)
+        lines.append(
+            f"{'benchmark'.ljust(width)}  {'baseline':>10}  {'fresh':>10}"
+            f"  {'ratio':>6}  verdict"
+        )
+        for delta in deltas:
+            lines.append(
+                f"{delta.name.ljust(width)}  {delta.baseline:>10.6f}"
+                f"  {delta.fresh:>10.6f}  {delta.ratio:>6.2f}  {delta.verdict}"
+            )
+    else:
+        lines.append("no benchmarks in common between baseline and fresh run")
+    for name in baseline_only:
+        lines.append(f"warning: {name} is in the baseline but was not re-run")
+    for name in fresh_only:
+        lines.append(f"note: {name} is new (no baseline median)")
+    return "\n".join(lines)
+
+
+def run_gate(
+    baseline_path: str,
+    fresh_path: str,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    out=print,
+) -> int:
+    """Compare two bench files; 0 = within tolerance, 1 = regression.
+
+    An empty intersection of benchmark names exits 1 as well -- a gate
+    that silently compared nothing would pass forever.
+    """
+    baseline = load_bench(baseline_path)
+    fresh = load_bench(fresh_path)
+    deltas = compare(baseline, fresh, tolerance)
+    base_names = medians(baseline).keys()
+    fresh_names = medians(fresh).keys()
+    out(
+        render(
+            deltas,
+            baseline_only=sorted(base_names - fresh_names),
+            fresh_only=sorted(fresh_names - base_names),
+        )
+    )
+    regressions = [delta for delta in deltas if delta.regressed]
+    if regressions:
+        out(
+            f"FAILED: {len(regressions)} benchmark(s) regressed beyond "
+            f"{tolerance:.0%} of baseline"
+        )
+        return 1
+    if not deltas:
+        out("FAILED: nothing to compare")
+        return 1
+    out(f"passed: {len(deltas)} benchmark(s) within {tolerance:.0%} of baseline")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (mirrors ``repro bench-compare``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench_gate",
+        description="diff fresh benchmark medians against a committed baseline",
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return run_gate(args.baseline, args.fresh, tolerance=args.tolerance)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2

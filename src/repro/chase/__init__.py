@@ -11,7 +11,14 @@ from .alpha import (
     any_tgd_alpha_applicable,
     justification_key,
 )
-from .explain import ExplainedStep, explain, narrate
+from .explain import (
+    ExplainedStep,
+    explain,
+    narrate,
+    narrate_why,
+    survival,
+    why_not,
+)
 from .oblivious import fire_all_source_justifications, oblivious_chase
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
 from .satisfaction import (
@@ -34,6 +41,9 @@ __all__ = [
     "FreshAlpha",
     "explain",
     "narrate",
+    "narrate_why",
+    "survival",
+    "why_not",
     "JustificationKey",
     "alpha_applicable_matches",
     "alpha_chase",

@@ -37,6 +37,7 @@ from ..dependencies.base import Dependency, split_dependencies
 from ..dependencies.egd import Egd
 from ..dependencies.tgd import Tgd
 from ..obs import counter, gauge, span, span_stats
+from ..obs.provenance import active_ledger
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
 
 DEFAULT_MAX_STEPS = 100_000
@@ -175,6 +176,10 @@ def alpha_chase(
     firings = counter("chase.tgd_firings")
     merges = counter("chase.egd_merges")
     null_count = counter("chase.nulls_created")
+    ledger = active_ledger()  # None by default: recording is opt-in
+    if ledger is not None:
+        ledger.record_source(current)
+    peak_atoms = len(current)
 
     def finish(status: ChaseStatus, reason: str = "") -> ChaseOutcome:
         # α-witnesses need not be fresh, so count created nulls by
@@ -183,6 +188,8 @@ def alpha_chase(
         null_count.inc(created)
         gauge("chase.steps_to_fixpoint").set(steps)
         gauge("instance.nulls").set(len(current.nulls()))
+        gauge("chase.peak_atoms").set(max(peak_atoms, len(current)))
+        gauge("chase.instance_size").set(len(current))
         return ChaseOutcome(
             status,
             current,
@@ -235,6 +242,14 @@ def alpha_chase(
                             steps += 1
                             progressed = True
                             firings.inc()
+                            if ledger is not None:
+                                ledger.record_firing(
+                                    "alpha",
+                                    tgd,
+                                    premise_match,
+                                    new_atoms,
+                                    witnesses,
+                                )
                             if trace:
                                 binding = tuple(
                                     (variable.name, premise_match[variable])
@@ -252,6 +267,7 @@ def alpha_chase(
             finally:
                 tgd_stats.record(time.perf_counter() - pass_started)
 
+            peak_atoms = max(peak_atoms, len(current))
             # tgd fixpoint reached: no tgd is α-applicable.  Check egds.
             egd_started = time.perf_counter()
             violating: Optional[Tuple[Egd, Value, Value]] = None
@@ -288,6 +304,8 @@ def alpha_chase(
             current.replace_value(old, new)
             steps += 1
             merges.inc()
+            if ledger is not None:
+                ledger.record_merge("alpha", egd, old, new)
             egd_stats.record(time.perf_counter() - egd_started)
             if steps >= max_steps:
                 return out_of_budget()

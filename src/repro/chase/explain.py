@@ -4,13 +4,25 @@ Example 4.4 presents chases as sequences I₀, I₁, ..., Iₘ with one
 dependency application per step.  :func:`explain` replays a traced
 :class:`ChaseOutcome` into that shape, and :func:`narrate` renders it as
 text for examples, teaching, and debugging data exchange settings.
+
+Two narration modes coexist:
+
+* **linear replay** (:func:`explain` / :func:`narrate`) follows the
+  chase *sequence* -- exactly the presentation of Example 4.4;
+* **DAG-aware narration** (:func:`narrate_why` / :func:`why_not`) walks
+  a :class:`~repro.obs.provenance.ProvenanceLedger` *derivation DAG*
+  backwards from one fact to its justifying source atoms -- the paper's
+  justification chains (Sections 3-4), available whenever the chase ran
+  under :func:`repro.obs.provenance.recording`.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..core.atoms import Atom
 from ..core.instance import Instance
+from ..obs.provenance import ProvenanceLedger
 from .result import ChaseOutcome, ChaseStep
 
 
@@ -96,3 +108,59 @@ def narrate(
         + (f" -- {outcome.reason}" if outcome.reason else "")
     )
     return "\n".join(lines)
+
+
+def narrate_why(ledger: ProvenanceLedger, fact: Atom) -> str:
+    """The justification chain of ``fact``, walked off the derivation DAG.
+
+    Where :func:`narrate` replays the whole chase *sequence*, this
+    narrates only the derivation cone of one fact: which dependency
+    produced it, under which trigger binding and witnesses, recursively
+    down to the source atoms -- the justification structure that makes a
+    CWA-presolution a CWA-presolution.
+
+    >>> from repro.chase import standard_chase
+    >>> from repro.logic import parse_instance
+    >>> from repro.dependencies import parse_dependencies
+    >>> from repro.obs.provenance import recording
+    >>> deps = parse_dependencies(["E(x, y) -> exists z . F(y, z)"])
+    >>> with recording() as ledger:
+    ...     outcome = standard_chase(parse_instance("E('a','b')"), deps)
+    >>> fact = [a for a in outcome.instance if a.relation.name == "F"][0]
+    >>> print(narrate_why(ledger, fact))
+    F(b, ⊥0) ⇐ tgd[y ↦ b, x ↦ a; z ↦ ⊥0]
+      E(a, b) ⇐ source
+    """
+    return ledger.render_why(fact)
+
+
+def why_not(ledger: ProvenanceLedger, fact: Atom) -> str:
+    """Why ``fact`` is absent from the final result.
+
+    Distinguishes never-derived facts, facts rewritten away by an egd
+    merge, and facts retracted by core folding (with the folding
+    endomorphism that made them redundant).
+    """
+    return ledger.why_not(fact)
+
+
+def survival(ledger: ProvenanceLedger, fact: Atom) -> str:
+    """One line on whether ``fact`` survives into the minimal solution.
+
+    A fact *survives* core folding when no recorded retraction dropped
+    it; the justification chain (its derivation cone) is what the
+    survival is grounded in.
+    """
+    justification = ledger.why(fact)
+    if justification is None:
+        return ledger.why_not(fact)
+    if fact not in set(ledger.live_facts()):
+        return ledger.why_not(fact)
+    sources = [
+        node.fact for node in justification.chain() if node.kind == "source"
+    ]
+    grounds = ", ".join(repr(item) for item in sorted(set(sources)))
+    return (
+        f"{fact!r} survives: no endomorphism folds it away, and it is "
+        f"justified from {{{grounds}}}"
+    )

@@ -24,7 +24,8 @@ from ..core.instance import Instance
 from ..core.terms import NullFactory, Value
 from ..dependencies.base import Dependency
 from ..dependencies.tgd import Tgd
-from ..obs import counter, span
+from ..obs import counter, gauge, span
+from ..obs.provenance import active_ledger
 from .alpha import (
     FreshAlpha,
     JustificationKey,
@@ -83,6 +84,9 @@ def fire_all_source_justifications(
     table: Dict[JustificationKey, Tuple[Value, ...]] = {}
     firings = counter("chase.tgd_firings")
     null_count = counter("chase.nulls_created")
+    ledger = active_ledger()  # None by default: recording is opt-in
+    if ledger is not None:
+        ledger.record_source(result)
     with span("chase.fire_all_source_justifications"):
         for tgd in st_tgds:
             for premise_match in tgd.premise_matches(source):
@@ -93,7 +97,12 @@ def fire_all_source_justifications(
                 table[key] = witnesses
                 firings.inc()
                 null_count.inc(len(witnesses))
-                result.add_all(
-                    tgd.conclusion_atoms_under(premise_match, witnesses)
-                )
+                added = tgd.conclusion_atoms_under(premise_match, witnesses)
+                fresh = [atom for atom in added if result.add(atom)]
+                if ledger is not None:
+                    ledger.record_firing(
+                        "oblivious", tgd, premise_match, fresh, witnesses
+                    )
+    gauge("chase.peak_atoms").set(len(result))
+    gauge("chase.instance_size").set(len(result))
     return result, table

@@ -35,6 +35,7 @@ from ..dependencies.egd import Egd
 from ..dependencies.tgd import Tgd
 from ..logic.matching import match
 from ..obs import counter, gauge, span, span_stats
+from ..obs.provenance import active_ledger
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
 
 DEFAULT_MAX_STEPS = 200_000
@@ -115,10 +116,16 @@ def seminaive_chase(
     firings = counter("chase.tgd_firings")
     merges = counter("chase.egd_merges")
     null_count = counter("chase.nulls_created")
+    ledger = active_ledger()  # None by default: recording is opt-in
+    if ledger is not None:
+        ledger.record_source(current)
+    peak_atoms = len(current)
 
     def finish(status: ChaseStatus, reason: str = "") -> ChaseOutcome:
         gauge("chase.steps_to_fixpoint").set(steps)
         gauge("instance.nulls").set(len(current.nulls()))
+        gauge("chase.peak_atoms").set(max(peak_atoms, len(current)))
+        gauge("chase.instance_size").set(len(current))
         return ChaseOutcome(
             status,
             current,
@@ -146,7 +153,12 @@ def seminaive_chase(
                 pass_started = time.perf_counter()
                 merges_before = steps
                 failed, steps, merged_atoms = _egd_fixpoint(
-                    current, egds, steps, max_steps, log if trace else None
+                    current,
+                    egds,
+                    steps,
+                    max_steps,
+                    log if trace else None,
+                    ledger,
                 )
                 egd_stats.record(time.perf_counter() - pass_started)
                 merges.inc(steps - merges_before)
@@ -185,6 +197,14 @@ def seminaive_chase(
                         firings.inc()
                         nulls_created += len(witnesses)
                         null_count.inc(len(witnesses))
+                        if ledger is not None:
+                            ledger.record_firing(
+                                "seminaive",
+                                tgd,
+                                premise_match,
+                                fresh,
+                                witnesses,
+                            )
                         if trace:
                             binding = tuple(
                                 (variable.name, premise_match[variable])
@@ -197,6 +217,7 @@ def seminaive_chase(
                             )
             finally:
                 tgd_stats.record(time.perf_counter() - pass_started)
+            peak_atoms = max(peak_atoms, len(current))
             delta = new_delta
 
 
@@ -206,6 +227,7 @@ def _egd_fixpoint(
     steps: int,
     max_steps: int,
     log: Optional[List[ChaseStep]],
+    ledger=None,
 ) -> Tuple[str, int, List[Atom]]:
     """Apply egds to fixpoint; returns (verdict, steps, rewritten atoms).
 
@@ -232,6 +254,8 @@ def _egd_fixpoint(
         old, new = direction
         instance.replace_value(old, new)
         steps += 1
+        if ledger is not None:
+            ledger.record_merge("seminaive", egd, old, new)
         if log is not None:
             log.append(ChaseStep("egd", egd, merged=(old, new)))
         for atom in instance:

@@ -22,6 +22,7 @@ from ..core.terms import NullFactory
 from ..dependencies.base import Dependency, split_dependencies
 from ..dependencies.egd import Egd
 from ..obs import counter, gauge, span, span_stats
+from ..obs.provenance import active_ledger
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
 
 DEFAULT_MAX_STEPS = 200_000
@@ -56,11 +57,17 @@ def standard_chase(
     firings = counter("chase.tgd_firings")
     merges = counter("chase.egd_merges")
     null_count = counter("chase.nulls_created")
+    ledger = active_ledger()  # None by default: recording is opt-in
+    if ledger is not None:
+        ledger.record_source(current)
+    peak_atoms = len(current)
 
     def finish(status: ChaseStatus, reason: str = "") -> ChaseOutcome:
         """The single exit path: every verdict carries the same stats."""
         gauge("chase.steps_to_fixpoint").set(steps)
         gauge("instance.nulls").set(len(current.nulls()))
+        gauge("chase.peak_atoms").set(max(peak_atoms, len(current)))
+        gauge("chase.instance_size").set(len(current))
         return ChaseOutcome(
             status,
             current,
@@ -92,7 +99,7 @@ def standard_chase(
                         if steps >= max_steps:
                             return out_of_budget()
                         egd_step = _apply_one_egd(
-                            current, egds, log if trace else None
+                            current, egds, log if trace else None, ledger
                         )
                         if egd_step == "failed":
                             return finish(
@@ -133,6 +140,14 @@ def standard_chase(
                         firings.inc()
                         nulls_created += len(witnesses)
                         null_count.inc(len(witnesses))
+                        if ledger is not None:
+                            ledger.record_firing(
+                                "standard",
+                                tgd,
+                                premise_match,
+                                new_atoms,
+                                witnesses,
+                            )
                         if trace:
                             binding = tuple(
                                 (variable.name, premise_match[variable])
@@ -146,12 +161,16 @@ def standard_chase(
             finally:
                 tgd_stats.record(time.perf_counter() - pass_started)
 
+            peak_atoms = max(peak_atoms, len(current))
             if not fired_any:
                 return finish(ChaseStatus.SUCCESS)
 
 
 def _apply_one_egd(
-    instance: Instance, egds: Sequence[Egd], log: Optional[List[ChaseStep]]
+    instance: Instance,
+    egds: Sequence[Egd],
+    log: Optional[List[ChaseStep]],
+    ledger=None,
 ) -> str:
     """Apply the first violated egd.  Returns 'applied', 'failed' or 'none'."""
     for egd in egds:
@@ -164,6 +183,8 @@ def _apply_one_egd(
             return "failed"
         old, new = direction
         instance.replace_value(old, new)
+        if ledger is not None:
+            ledger.record_merge("standard", egd, old, new)
         if log is not None:
             log.append(ChaseStep("egd", egd, merged=(old, new)))
         return "applied"

@@ -12,6 +12,10 @@ Commands
                membership of a setting.
 ``report``     the full exchange report: acyclicity, chase stats,
                Gaifman blocks, core size, per-null justifications.
+``explain``    paper-style I₀, I₁, ..., Iₘ chase narration, with
+               optional DAG-aware justification of one fact (--why).
+``bench-compare``  diff fresh benchmark medians against a committed
+               BENCH_*.json baseline; exits nonzero on regression.
 
 Settings are described in a small text format, one declaration per line
 (``#`` starts a comment):
@@ -135,6 +139,24 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="write the telemetry event stream as line-JSON to PATH",
+    )
+    subparser.add_argument(
+        "--trace-viewer",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a Chrome trace-event timeline to PATH (load it in "
+            "https://ui.perfetto.dev or chrome://tracing)"
+        ),
+    )
+    subparser.add_argument(
+        "--provenance",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a derivation provenance ledger during the run and "
+            "write it to PATH as repro.obs/prov/v1 JSON"
+        ),
     )
 
 
@@ -317,6 +339,56 @@ def command_report(args: argparse.Namespace) -> int:
     return 0 if exchange_report.status == "solved" else 1
 
 
+def _parse_fact(text: str, setting: DataExchangeSetting) -> "Atom":
+    """Parse one atom (``"G(#1, #2)"``) for --why lookups."""
+    parsed = parse_instance(text, setting.joint_schema)
+    atoms = list(parsed)
+    if len(atoms) != 1:
+        raise ReproError(
+            f"--why expects exactly one atom, got {len(atoms)} in {text!r}"
+        )
+    return atoms[0]
+
+
+def command_explain(args: argparse.Namespace) -> int:
+    from .chase import narrate, narrate_why, standard_chase
+    from .chase.seminaive import seminaive_chase
+    from .obs.provenance import active_ledger, recording
+
+    setting = load_setting(args.setting)
+    source = load_instance(args.source, setting)
+    engine = standard_chase if args.engine == "standard" else seminaive_chase
+    # Reuse an outer ledger (--provenance) when one is already recording;
+    # otherwise record locally so --why can walk the derivation DAG.
+    recorder = None
+    ledger = active_ledger()
+    if ledger is None:
+        recorder = recording()
+        ledger = recorder.__enter__()
+    try:
+        outcome = engine(
+            source,
+            list(setting.all_dependencies),
+            max_steps=args.max_steps,
+            trace=True,
+        )
+    finally:
+        if recorder is not None:
+            recorder.__exit__(None, None, None)
+    print(narrate(source, outcome, show_instances=args.show_instances))
+    if args.why:
+        fact = _parse_fact(args.why, setting)
+        print()
+        print(narrate_why(ledger, fact))
+    return 0 if outcome.successful else 1
+
+
+def command_bench_compare(args: argparse.Namespace) -> int:
+    from .benchgate import run_gate
+
+    return run_gate(args.baseline, args.fresh, tolerance=args.tolerance)
+
+
 def command_analyze(args: argparse.Namespace) -> int:
     setting = load_setting(args.setting)
     print(f"source schema : {' '.join(setting.source_schema.names)}")
@@ -414,6 +486,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(report_cmd)
     report_cmd.set_defaults(run=command_report)
 
+    explain_cmd = commands.add_parser(
+        "explain",
+        help="paper-style I0, I1, ..., Im narration of a traced chase",
+    )
+    explain_cmd.add_argument("setting")
+    explain_cmd.add_argument("source")
+    explain_cmd.add_argument("--max-steps", type=int, default=200_000)
+    explain_cmd.add_argument(
+        "--engine", choices=("standard", "seminaive"), default="standard"
+    )
+    explain_cmd.add_argument("--show-instances", action="store_true")
+    explain_cmd.add_argument(
+        "--why",
+        metavar="ATOM",
+        default=None,
+        help=(
+            "also print the justification chain of one fact, e.g. "
+            "--why \"G(#1, #2)\" (walks the derivation DAG to the source)"
+        ),
+    )
+    _add_obs_flags(explain_cmd)
+    explain_cmd.set_defaults(run=command_explain)
+
+    bench = commands.add_parser(
+        "bench-compare",
+        help="gate fresh benchmark medians against a committed baseline",
+    )
+    bench.add_argument("baseline", help="committed BENCH_*.json baseline")
+    bench.add_argument("fresh", help="freshly produced BENCH_*.json")
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    bench.set_defaults(run=command_bench_compare)
+
     return parser
 
 
@@ -421,28 +530,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     has_obs_flags = hasattr(args, "profile")
-    sink: Optional[obs.JsonLinesSink] = None
+    sinks: List[obs.EventSink] = []
     previous_sink = None
+    recorder = None
     if has_obs_flags:
-        # Per-invocation metrics: zero the registry so --profile and
-        # --trace-json describe exactly this command.
+        # Per-invocation metrics: zero the registry so --profile and the
+        # trace flags describe exactly this command.
         obs.reset()
         if args.trace_json:
-            sink = obs.JsonLinesSink(args.trace_json)
-            previous_sink = obs.install_sink(sink)
+            sinks.append(obs.JsonLinesSink(args.trace_json))
+        if args.trace_viewer:
+            sinks.append(obs.TraceViewerSink(args.trace_viewer))
+        if sinks:
+            installed = sinks[0] if len(sinks) == 1 else obs.TeeSink(*sinks)
+            previous_sink = obs.install_sink(installed)
+        if args.provenance:
+            from .obs.provenance import recording
+
+            recorder = recording()
+            recorder.__enter__()
     try:
         return args.run(args)
-    except ReproError as error:
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     finally:
+        # Every telemetry artifact is finalized here, on success *and*
+        # on error paths: a failing chase still leaves valid, parseable
+        # trace files and a complete provenance ledger behind.
         if has_obs_flags and args.profile:
             print("=== profile (per-phase wall times) ===", file=sys.stderr)
             print(obs.render_profile(), file=sys.stderr)
-        if sink is not None:
+        if sinks:
             obs.get_telemetry().emit_snapshot()
             obs.install_sink(previous_sink)
-            sink.close()
+            for sink in sinks:
+                try:
+                    sink.close()
+                except OSError as error:
+                    print(
+                        f"warning: failed to close trace sink: {error}",
+                        file=sys.stderr,
+                    )
+        if recorder is not None:
+            ledger = recorder.ledger
+            recorder.__exit__(None, None, None)
+            try:
+                with open(args.provenance, "w", encoding="utf-8") as handle:
+                    handle.write(ledger.dumps(indent=2))
+                    handle.write("\n")
+            except OSError as error:
+                print(
+                    f"warning: cannot write provenance ledger: {error}",
+                    file=sys.stderr,
+                )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

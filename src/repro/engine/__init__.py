@@ -27,6 +27,7 @@ from .fingerprint import (
     fingerprint_answers,
     fingerprint_dependency,
     fingerprint_instance,
+    fingerprint_ledger,
     fingerprint_query,
     fingerprint_schema,
     fingerprint_setting,
@@ -46,6 +47,7 @@ __all__ = [
     "fingerprint_answers",
     "fingerprint_dependency",
     "fingerprint_instance",
+    "fingerprint_ledger",
     "fingerprint_query",
     "fingerprint_schema",
     "fingerprint_setting",

@@ -148,6 +148,17 @@ def fingerprint_answers(answers: Iterable[Tuple[Value, ...]]) -> str:
     return _digest(["answers", *rows])
 
 
+def fingerprint_ledger(ledger) -> str:
+    """Digest of a provenance ledger (``repro.obs/prov/v1``).
+
+    Hashes the canonical JSON rendering of the ledger's payload, so a
+    ledger and its round-trip through :meth:`ProvenanceLedger.dumps` /
+    ``loads`` fingerprint identically -- provenance artifacts are
+    content-addressable next to solve results.
+    """
+    return _digest(["provenance", ledger.dumps()])
+
+
 def task_key(kind: str, *parts: str) -> str:
     """Combine component digests into one cache key.
 

@@ -28,6 +28,7 @@ from ..core.atoms import Atom
 from ..core.instance import Instance
 from ..core.terms import Null, Value
 from ..obs import span
+from ..obs.provenance import active_ledger
 from .core_computation import _FOLDS, _RETRACTS
 from .core_computation import core as global_core
 from .core_computation import fold_step
@@ -151,6 +152,11 @@ def _minimize_block(
                 replacement.discard(item)
             for item in owned:
                 replacement.add(item.rename_values(mapping))
+            ledger = active_ledger()
+            if ledger is not None:
+                ledger.record_retraction(
+                    "blockwise", set(current) - set(replacement), mapping
+                )
             current = replacement
             # Nulls folded onto other blocks leave this block's care.
             block = frozenset(

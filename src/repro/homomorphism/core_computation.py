@@ -31,6 +31,7 @@ from typing import List, Optional
 from ..core.atoms import Atom
 from ..core.instance import Instance
 from ..obs import counter, span
+from ..obs.provenance import active_ledger
 from .search import find_homomorphism, has_homomorphism
 
 # Prefetched handles (counters survive ``repro.obs.reset``): fold_step
@@ -59,7 +60,13 @@ def fold_step(instance: Instance) -> Optional[Instance]:
         mapping = find_homomorphism(instance, smaller)
         if mapping is not None:
             _FOLDS.inc()
-            return instance.rename_values(mapping)
+            image = instance.rename_values(mapping)
+            ledger = active_ledger()
+            if ledger is not None:
+                ledger.record_retraction(
+                    "folding", set(instance) - set(image), mapping
+                )
+            return image
     return None
 
 

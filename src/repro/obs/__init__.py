@@ -29,6 +29,12 @@ import logging
 import os
 from typing import Iterator, List, Optional
 
+from .provenance import (
+    Justification,
+    ProvenanceLedger,
+    active_ledger,
+    recording,
+)
 from .sinks import (
     NULL_SINK,
     EventSink,
@@ -37,6 +43,7 @@ from .sinks import (
     NullSink,
     RecordingSink,
     TeeSink,
+    TraceViewerSink,
 )
 from .telemetry import DEFAULT, SCHEMA, Counter, Gauge, SpanStats, Telemetry
 
@@ -45,20 +52,25 @@ __all__ = [
     "EventSink",
     "Gauge",
     "JsonLinesSink",
+    "Justification",
     "LoggingSink",
     "NULL_SINK",
     "NullSink",
+    "ProvenanceLedger",
     "RecordingSink",
     "SCHEMA",
     "SpanStats",
     "TeeSink",
     "Telemetry",
+    "TraceViewerSink",
+    "active_ledger",
     "configure_from_env",
     "counter",
     "event",
     "gauge",
     "get_telemetry",
     "install_sink",
+    "recording",
     "render_profile",
     "reset",
     "snapshot",

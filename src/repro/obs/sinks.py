@@ -13,6 +13,9 @@ cover the library's needs:
   backs the CLI's ``--trace-json`` flag.
 * :class:`LoggingSink` -- routes events to a stdlib :mod:`logging`
   logger; installed automatically when ``REPRO_LOG=debug|info`` is set.
+* :class:`TraceViewerSink` -- converts the span/event stream into the
+  Chrome trace-event format (loadable in Perfetto / ``chrome://tracing``);
+  backs the CLI's ``--trace-viewer`` flag.
 """
 
 from __future__ import annotations
@@ -101,6 +104,103 @@ class LoggingSink(EventSink):
             event.get("type", "event"),
             json.dumps(event, sort_keys=True, default=str),
         )
+
+
+class TraceViewerSink(EventSink):
+    """Converts the event stream into Chrome trace-event JSON.
+
+    The output (written on :meth:`close`) is a single JSON object
+    ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` that loads
+    directly in Perfetto (https://ui.perfetto.dev) and
+    ``chrome://tracing``:
+
+    * ``span_start`` / ``span_end`` become ``"B"`` / ``"E"`` duration
+      events, so nested chase phases render as a flame graph;
+    * one-off events become ``"i"`` instant events with their extra
+      fields attached as ``args``;
+    * the final telemetry snapshot becomes an instant event carrying the
+      whole aggregate dict, so counters and gauges travel with the
+      timeline.
+
+    Events buffer in memory and the file is written *complete* in one
+    shot on close -- a failing run closed via try/finally still produces
+    a valid, parseable trace (unlike an incrementally written JSON array,
+    which would be truncated mid-structure).
+    """
+
+    def __init__(self, destination: Union[str, IO[str]], *, pid: int = 1):
+        if isinstance(destination, str):
+            self._handle: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        self._pid = pid
+        self._events: List[dict] = []
+        self._closed = False
+
+    @staticmethod
+    def _micros(seconds: float) -> float:
+        return seconds * 1_000_000.0
+
+    def emit(self, event: dict) -> None:
+        kind = event.get("type")
+        ts = self._micros(float(event.get("ts", 0.0)))
+        base = {"pid": self._pid, "tid": 1, "ts": ts}
+        if kind == "span_start":
+            # Chrome names carry the leaf only; the B/E nesting restores
+            # the hierarchy the /-joined path encodes.
+            name = event.get("name", "")
+            self._events.append(
+                {**base, "ph": "B", "name": name.rsplit("/", 1)[-1], "cat": "span"}
+            )
+        elif kind == "span_end":
+            name = event.get("name", "")
+            self._events.append(
+                {**base, "ph": "E", "name": name.rsplit("/", 1)[-1], "cat": "span"}
+            )
+        elif kind == "snapshot":
+            self._events.append(
+                {
+                    **base,
+                    "ph": "i",
+                    "s": "g",
+                    "name": "telemetry.snapshot",
+                    "cat": "snapshot",
+                    "args": event.get("data", {}),
+                }
+            )
+        else:
+            args = {
+                key: value
+                for key, value in event.items()
+                if key not in ("type", "name", "ts")
+            }
+            self._events.append(
+                {
+                    **base,
+                    "ph": "i",
+                    "s": "t",
+                    "name": event.get("name", "event"),
+                    "cat": "event",
+                    "args": args,
+                }
+            )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        json.dump(
+            {"traceEvents": self._events, "displayTimeUnit": "ms"},
+            self._handle,
+            sort_keys=True,
+            default=str,
+        )
+        self._handle.write("\n")
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
 
 
 class TeeSink(EventSink):

@@ -1,0 +1,140 @@
+"""Tests for the benchmark regression gate (``repro bench-compare``)."""
+
+import json
+
+import pytest
+
+from repro.benchgate import (
+    BENCH_SCHEMA,
+    BenchDelta,
+    compare,
+    load_bench,
+    main,
+    medians,
+    run_gate,
+)
+from repro.core import ReproError
+
+
+def bench_record(**entries):
+    record = {"schema": BENCH_SCHEMA}
+    record.update(entries)
+    return record
+
+
+def write_bench(path, **entries):
+    path.write_text(json.dumps(bench_record(**entries)), encoding="utf-8")
+    return str(path)
+
+
+class TestMedians:
+    def test_only_median_keys_participate(self):
+        record = bench_record(**{
+            "test_a.median_seconds": 0.5,
+            "test_a.rounds": 12,
+            "counter.chase.tgd_firings": 999,
+        })
+        assert medians(record) == {"test_a": 0.5}
+
+    def test_compare_pairs_common_names_sorted(self):
+        baseline = bench_record(**{
+            "b.median_seconds": 1.0,
+            "a.median_seconds": 1.0,
+            "gone.median_seconds": 1.0,
+        })
+        fresh = bench_record(**{
+            "a.median_seconds": 1.1,
+            "b.median_seconds": 0.9,
+            "new.median_seconds": 5.0,
+        })
+        deltas = compare(baseline, fresh, 0.25)
+        assert [d.name for d in deltas] == ["a", "b"]
+
+    def test_verdicts(self):
+        assert BenchDelta("x", 1.0, 1.2, 0.25).verdict == "ok"
+        assert BenchDelta("x", 1.0, 1.3, 0.25).verdict == "REGRESSED"
+        assert BenchDelta("x", 1.0, 0.5, 0.25).verdict == "improved"
+        assert BenchDelta("x", 0.0, 0.5, 0.25).ratio == 1.0
+
+
+class TestGate:
+    def test_within_tolerance_passes(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "base.json", **{"a.median_seconds": 1.0})
+        fresh = write_bench(tmp_path / "fresh.json", **{"a.median_seconds": 1.2})
+        assert run_gate(base, fresh, tolerance=0.25) == 0
+        out = capsys.readouterr().out
+        assert "passed" in out
+
+    def test_regression_fails_nonzero(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "base.json", **{"a.median_seconds": 1.0})
+        fresh = write_bench(tmp_path / "fresh.json", **{"a.median_seconds": 1.5})
+        assert run_gate(base, fresh, tolerance=0.25) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "FAILED" in out
+
+    def test_empty_intersection_fails(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "base.json", **{"a.median_seconds": 1.0})
+        fresh = write_bench(tmp_path / "fresh.json", **{"b.median_seconds": 1.0})
+        assert run_gate(base, fresh) == 1
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_coverage_warnings(self, tmp_path, capsys):
+        base = write_bench(
+            tmp_path / "base.json",
+            **{"a.median_seconds": 1.0, "gone.median_seconds": 1.0},
+        )
+        fresh = write_bench(
+            tmp_path / "fresh.json",
+            **{"a.median_seconds": 1.0, "new.median_seconds": 1.0},
+        )
+        assert run_gate(base, fresh) == 0
+        out = capsys.readouterr().out
+        assert "warning: gone" in out
+        assert "note: new" in out
+
+    def test_unversioned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"a.median_seconds": 1.0}', encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_bench(str(path))
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_bench(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_bench(str(tmp_path / "absent.json"))
+
+    def test_committed_baseline_is_gateable(self, capsys):
+        # The committed chase baseline compared against itself is the
+        # degenerate no-regression case; this also pins the on-disk
+        # schema the gate expects.
+        import pathlib
+
+        baseline = str(
+            pathlib.Path(__file__).resolve().parent.parent / "BENCH_chase.json"
+        )
+        assert run_gate(baseline, baseline, tolerance=0.03) == 0
+        assert "passed" in capsys.readouterr().out
+
+
+class TestStandaloneMain:
+    def test_main_ok(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "base.json", **{"a.median_seconds": 1.0})
+        fresh = write_bench(tmp_path / "fresh.json", **{"a.median_seconds": 1.0})
+        assert main([base, fresh]) == 0
+        capsys.readouterr()
+
+    def test_main_tolerance_flag(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "base.json", **{"a.median_seconds": 1.0})
+        fresh = write_bench(tmp_path / "fresh.json", **{"a.median_seconds": 1.04})
+        assert main([base, fresh, "--tolerance", "0.03"]) == 1
+        capsys.readouterr()
+
+    def test_main_reports_data_errors(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.json"), str(tmp_path / "x")]) == 2
+        assert "error:" in capsys.readouterr().out

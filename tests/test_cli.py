@@ -202,3 +202,148 @@ class TestCommands:
         code = main(["analyze", str(path)])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_explain(self, setting_file, source_file, capsys):
+        code = main(["explain", setting_file, source_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("I0 = ")
+        assert "result: success" in out
+
+    def test_explain_why(self, setting_file, source_file, capsys):
+        code = main(
+            ["explain", setting_file, source_file, "--why", "G(#1, #2)"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "G(⊥1, ⊥2) ⇐ " in out
+        assert "⇐ source" in out
+
+    def test_explain_why_rejects_multiple_atoms(
+        self, setting_file, source_file, capsys
+    ):
+        code = main(
+            [
+                "explain",
+                setting_file,
+                source_file,
+                "--why",
+                "G(#1,#2), E('a','b')",
+            ]
+        )
+        assert code == 2
+        assert "exactly one atom" in capsys.readouterr().err
+
+    def test_bench_compare(self, tmp_path, capsys):
+        import json
+
+        def bench(path, median):
+            path.write_text(
+                json.dumps(
+                    {"schema": "repro.bench/v1", "t.median_seconds": median}
+                ),
+                encoding="utf-8",
+            )
+            return str(path)
+
+        base = bench(tmp_path / "base.json", 1.0)
+        ok = bench(tmp_path / "ok.json", 1.1)
+        bad = bench(tmp_path / "bad.json", 2.0)
+        assert main(["bench-compare", base, ok, "--tolerance", "0.25"]) == 0
+        assert "passed" in capsys.readouterr().out
+        assert main(["bench-compare", base, bad, "--tolerance", "0.25"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+
+class TestSinkLifecycle:
+    """Trace artifacts must be complete and parseable on every exit path."""
+
+    def _failing_exchange(self, tmp_path):
+        setting = tmp_path / "key.txt"
+        setting.write_text(
+            "source: Src/2\ntarget: Tgt/2\nst: Src(x,y) -> Tgt(x,y)\n"
+            "target-dep: Tgt(x,y) & Tgt(x,z) -> y = z\n",
+            encoding="utf-8",
+        )
+        source = tmp_path / "clash.txt"
+        source.write_text("Src('a','b'), Src('a','c')", encoding="utf-8")
+        return str(setting), str(source)
+
+    def test_failing_chase_still_writes_valid_trace_files(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        setting, source = self._failing_exchange(tmp_path)
+        trace_json = tmp_path / "run.jsonl"
+        trace_viewer = tmp_path / "run.trace.json"
+        code = main(
+            [
+                "report",
+                setting,
+                source,
+                "--trace-json",
+                str(trace_json),
+                "--trace-viewer",
+                str(trace_viewer),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 1  # the egd failed: no solution exists
+        # Line-JSON: every line parses, and the stream is complete
+        # (ends with the snapshot event).
+        lines = trace_json.read_text(encoding="utf-8").splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[-1]["type"] == "snapshot"
+        # Trace-viewer: one complete JSON object, B/E balanced.
+        payload = json.loads(trace_viewer.read_text(encoding="utf-8"))
+        begins = [e for e in payload["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in payload["traceEvents"] if e["ph"] == "E"]
+        assert len(begins) == len(ends) > 0
+
+    def test_usage_error_still_writes_valid_trace_file(
+        self, tmp_path, setting_file, capsys
+    ):
+        import json
+
+        trace_viewer = tmp_path / "err.trace.json"
+        code = main(
+            [
+                "chase",
+                setting_file,
+                str(tmp_path / "no-such-source.txt"),
+                "--trace-viewer",
+                str(trace_viewer),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+        payload = json.loads(trace_viewer.read_text(encoding="utf-8"))
+        assert isinstance(payload["traceEvents"], list)
+
+    def test_provenance_flag_writes_ledger(
+        self, tmp_path, setting_file, source_file, capsys
+    ):
+        from repro.obs.provenance import ProvenanceLedger
+
+        path = tmp_path / "prov.json"
+        code = main(
+            ["solve", setting_file, source_file, "--provenance", str(path)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        ledger = ProvenanceLedger.loads(path.read_text(encoding="utf-8"))
+        assert len(ledger.steps) > 0
+        kinds = {step.kind for step in ledger.steps}
+        assert "source" in kinds and "tgd" in kinds
+
+    def test_provenance_written_on_failing_chase(self, tmp_path, capsys):
+        from repro.obs.provenance import ProvenanceLedger
+
+        setting, source = self._failing_exchange(tmp_path)
+        path = tmp_path / "prov.json"
+        code = main(["report", setting, source, "--provenance", str(path)])
+        capsys.readouterr()
+        assert code == 1
+        ledger = ProvenanceLedger.loads(path.read_text(encoding="utf-8"))
+        assert {step.kind for step in ledger.steps} >= {"source", "tgd"}

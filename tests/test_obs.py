@@ -232,6 +232,68 @@ class TestSinks:
         ]
         assert events[-1]["data"]["counters"]["chase.tgd_firings"] == 1
 
+    def test_trace_viewer_sink_writes_valid_trace_event_json(self, tmp_path):
+        from repro.obs import TraceViewerSink
+
+        path = tmp_path / "run.trace.json"
+        sink = TraceViewerSink(str(path))
+        obs.install_sink(sink)
+        with obs.span("solve"):
+            with obs.span("chase.standard"):
+                obs.event("checkpoint", detail=7)
+        obs.get_telemetry().emit_snapshot()
+        obs.install_sink(NULL_SINK)
+        sink.close()
+        # Structural validity per the trace-event format: a JSON object
+        # with a traceEvents array; every event carries ph/name/ts/pid/
+        # tid; B and E events balance, so Perfetto can pair them.
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert {"ph", "name", "ts", "pid", "tid"} <= set(event)
+            assert isinstance(event["ts"], (int, float))
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 2
+        # Names are span leaves (nesting carries the hierarchy).
+        assert [e["name"] for e in begins] == ["solve", "chase.standard"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {"checkpoint", "telemetry.snapshot"} == {
+            e["name"] for e in instants
+        }
+        checkpoint = next(e for e in instants if e["name"] == "checkpoint")
+        assert checkpoint["args"]["detail"] == 7
+
+    def test_trace_viewer_sink_valid_after_failed_run(self, tmp_path):
+        from repro.obs import TraceViewerSink
+
+        path = tmp_path / "fail.trace.json"
+        sink = TraceViewerSink(str(path))
+        obs.install_sink(sink)
+        with pytest.raises(RuntimeError):
+            with obs.span("solve"):
+                raise RuntimeError("chase blew up")
+        obs.install_sink(NULL_SINK)
+        sink.close()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        # The span context manager is exception-safe, so even the
+        # failing span closed before the sink was finalized.
+        assert [e["ph"] for e in payload["traceEvents"]] == ["B", "E"]
+
+    def test_trace_viewer_close_is_idempotent(self, tmp_path):
+        from repro.obs import TraceViewerSink
+
+        path = tmp_path / "twice.trace.json"
+        sink = TraceViewerSink(str(path))
+        obs.install_sink(sink)
+        obs.event("only")
+        obs.install_sink(NULL_SINK)
+        sink.close()
+        sink.close()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert [e["name"] for e in payload["traceEvents"]] == ["only"]
+
     def test_tee_sink_duplicates_events(self):
         first, second = RecordingSink(), RecordingSink()
         obs.install_sink(TeeSink(first, second))
