@@ -21,6 +21,7 @@ import pytest
 BENCH_CHASE_FILE = "BENCH_chase.json"
 BENCH_TABLE1_FILE = "BENCH_table1.json"
 BENCH_ENGINE_FILE = "BENCH_engine.json"
+BENCH_MATCHING_FILE = "BENCH_matching.json"
 
 
 def fit_polynomial_degree(sizes, times):
@@ -116,6 +117,7 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_CHASE_FILE: [],
         BENCH_TABLE1_FILE: [],
         BENCH_ENGINE_FILE: [],
+        BENCH_MATCHING_FILE: [],
     }
     for bench in benches:
         fullname = getattr(bench, "fullname", "") or ""
@@ -123,6 +125,8 @@ def pytest_sessionfinish(session, exitstatus):
             target = BENCH_TABLE1_FILE
         elif "bench_engine" in fullname:
             target = BENCH_ENGINE_FILE
+        elif "bench_matching" in fullname:
+            target = BENCH_MATCHING_FILE
         else:
             target = BENCH_CHASE_FILE
         groups[target].append(bench)

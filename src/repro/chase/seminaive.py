@@ -59,13 +59,35 @@ def _unify_seed(pattern: Atom, fact: Atom) -> Optional[Dict]:
     return bound
 
 
+def _seed_decomposition(tgd: Tgd) -> Optional[Tuple]:
+    """Per-tgd delta-join plan, computed once per chase run.
+
+    For every premise-atom position ``p`` the pair ``(pattern_p, rest_p)``
+    where ``rest_p`` is the premise without position ``p``.  The same
+    tuple objects are reused across every pass, so the completion join
+    for each seed position compiles exactly once and every later pass is
+    a pure plan-cache hit (keyed by the seed atom's bound-variable set).
+    Returns None for FO premises, which have no atom list to seed from.
+    """
+    if tgd.premise_atoms is None:
+        return None
+    atoms = tgd.premise_atoms
+    return tuple(
+        (atoms[i], atoms[:i] + atoms[i + 1 :]) for i in range(len(atoms))
+    )
+
+
 def _delta_matches(
-    tgd: Tgd, instance: Instance, delta: Sequence[Atom]
+    tgd: Tgd,
+    instance: Instance,
+    delta: Sequence[Atom],
+    seeds: Optional[Tuple] = None,
 ) -> Iterable[Substitution]:
     """Premise matches of ``tgd`` that use at least one delta atom.
 
     Deduplicates across seed positions (a match touching two delta atoms
-    would otherwise be reported twice).
+    would otherwise be reported twice).  ``seeds`` is the precomputed
+    :func:`_seed_decomposition`; omitted, it is derived on the fly.
     """
     if tgd.premise_atoms is None:
         # FO premise (s-t tgd): fires only off source atoms; if the
@@ -75,12 +97,11 @@ def _delta_matches(
             yield from tgd.premise_matches(instance)
         return
 
+    if seeds is None:
+        seeds = _seed_decomposition(tgd)
     seen: Set[Tuple[Value, ...]] = set()
     all_variables = tuple(tgd.frontier) + tuple(tgd.premise_only)
-    for seed_index, pattern in enumerate(tgd.premise_atoms):
-        rest = (
-            tgd.premise_atoms[:seed_index] + tgd.premise_atoms[seed_index + 1 :]
-        )
+    for pattern, rest in seeds:
         for fact in delta:
             bound = _unify_seed(pattern, fact)
             if bound is None:
@@ -106,6 +127,9 @@ def seminaive_chase(
     Same contract as :func:`repro.chase.standard.standard_chase`.
     """
     tgds, egds = split_dependencies(list(dependencies))
+    # Delta-join decompositions, once per run: each (seed, rest) pair
+    # keeps its identity across passes so completions hit the plan cache.
+    seed_plans = {id(tgd): _seed_decomposition(tgd) for tgd in tgds}
     current = instance.copy()
     factory = null_factory or current.null_factory()
     steps = 0
@@ -181,7 +205,9 @@ def seminaive_chase(
             try:
                 for tgd in tgds:
                     for premise_match in list(
-                        _delta_matches(tgd, current, delta)
+                        _delta_matches(
+                            tgd, current, delta, seed_plans[id(tgd)]
+                        )
                     ):
                         if steps >= max_steps:
                             return out_of_budget()

@@ -4,11 +4,14 @@ An instance is represented by a finite set of ground atoms over
 ``Dom = Const ∪ Null`` (Section 2 of the paper).  :class:`Instance` is a
 mutable container with two indexes that the conjunctive matcher exploits:
 
-* ``by relation name`` -- all atoms of a relation, and
+* ``by relation name`` -- all atoms of a relation,
 * ``by (relation name, position, value)`` -- all atoms of a relation with a
-  given value at a given position.
+  given value at a given position, and
+* ``by (relation name, argument tuple)`` -- a per-relation hash set of the
+  full argument tuples, giving :meth:`Instance.has_tuple` an O(1)
+  ground-membership probe that never constructs an :class:`Atom`.
 
-Both indexes are maintained incrementally on ``add``/``discard``, so the
+All indexes are maintained incrementally on ``add``/``discard``, so the
 chase (which adds atoms in a loop) never rebuilds them.
 """
 
@@ -31,6 +34,9 @@ from .errors import SchemaError
 from .schema import RelationSymbol, Schema
 from .terms import Const, Null, NullFactory, Value
 
+#: Shared default for the zero-copy probe accessors below.
+_EMPTY_SET: FrozenSet[Atom] = frozenset()
+
 
 class Instance:
     """A finite set of ground atoms, possibly containing nulls.
@@ -43,12 +49,13 @@ class Instance:
     1
     """
 
-    __slots__ = ("_atoms", "_by_relation", "_by_position")
+    __slots__ = ("_atoms", "_by_relation", "_by_position", "_by_tuple")
 
     def __init__(self, atoms: Iterable[Atom] = ()):
         self._atoms: Set[Atom] = set()
         self._by_relation: Dict[str, Set[Atom]] = {}
         self._by_position: Dict[Tuple[str, int, Value], Set[Atom]] = {}
+        self._by_tuple: Dict[str, Set[Tuple[Value, ...]]] = {}
         for item in atoms:
             self.add(item)
 
@@ -66,9 +73,13 @@ class Instance:
         if item in self._atoms:
             return False
         self._atoms.add(item)
-        self._by_relation.setdefault(item.relation.name, set()).add(item)
+        name = item.relation.name
+        self._by_relation.setdefault(name, set()).add(item)
+        # Reuse the atom's own args tuple: the full-tuple index costs one
+        # pointer per atom, not a copy of the arguments.
+        self._by_tuple.setdefault(name, set()).add(item.args)
         for position, value in enumerate(item.args):
-            key = (item.relation.name, position, value)
+            key = (name, position, value)
             self._by_position.setdefault(key, set()).add(item)
         return True
 
@@ -81,13 +92,19 @@ class Instance:
         if item not in self._atoms:
             return False
         self._atoms.remove(item)
-        bucket = self._by_relation.get(item.relation.name)
+        name = item.relation.name
+        bucket = self._by_relation.get(name)
         if bucket is not None:
             bucket.discard(item)
             if not bucket:
-                del self._by_relation[item.relation.name]
+                del self._by_relation[name]
+        tuples = self._by_tuple.get(name)
+        if tuples is not None:
+            tuples.discard(item.args)
+            if not tuples:
+                del self._by_tuple[name]
         for position, value in enumerate(item.args):
-            key = (item.relation.name, position, value)
+            key = (name, position, value)
             slot = self._by_position.get(key)
             if slot is not None:
                 slot.discard(item)
@@ -144,6 +161,33 @@ class Instance:
         """Cardinality of :meth:`atoms_of`, without materializing the set."""
         name = relation.name if isinstance(relation, RelationSymbol) else relation
         return len(self._by_relation.get(name, ()))
+
+    def has_tuple(self, name: str, args: Tuple[Value, ...]) -> bool:
+        """O(1) ground-membership probe by relation *name* and args tuple.
+
+        Equivalent to ``Atom(relation, args) in instance`` but without
+        constructing (and hashing) an :class:`Atom`.  The hot path of the
+        compiled match plans (:mod:`repro.logic.plans`) uses this for
+        join steps whose variables are all already bound.
+        """
+        bucket = self._by_tuple.get(name)
+        return bucket is not None and args in bucket
+
+    def probe_relation(self, name: str) -> Set[Atom]:
+        """Zero-copy view of the atoms of relation ``name``.
+
+        Unlike :meth:`atoms_of` the returned set is the live index
+        bucket; callers must not mutate the instance while iterating it.
+        Reserved for the matcher/plan hot paths.
+        """
+        return self._by_relation.get(name, _EMPTY_SET)
+
+    def probe_position(self, name: str, position: int, value: Value) -> Set[Atom]:
+        """Zero-copy view of the ``(name, position, value)`` index bucket.
+
+        Same contract as :meth:`probe_relation`: a live view, not a copy.
+        """
+        return self._by_position.get((name, position, value), _EMPTY_SET)
 
     def relation_names(self) -> Tuple[str, ...]:
         """Names of relations with at least one atom, sorted."""

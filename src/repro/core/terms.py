@@ -9,6 +9,13 @@ Design notes
 ------------
 * :class:`Const` and :class:`Null` are immutable and hashable, so they can
   live in sets and dictionary keys (instances are sets of atoms).
+* Both classes are **interned**: at any moment, two live equal values are
+  the *same object*.  Construction routes through ``__new__`` and a
+  per-class :class:`weakref.WeakValueDictionary` (so unused values are
+  still collected), and pickling routes back through the constructor via
+  ``__reduce__``, which keeps the invariant across the process-pool
+  executor.  The compiled match plans in :mod:`repro.logic.plans` rely on
+  this to compare values by identity (``is``) in their inner loops.
 * ``Null`` carries an integer identifier and is **totally ordered** by it.
   Definition 4.1 of the paper resolves the ambiguity of egd application by
   assuming "Null is linearly ordered so that if both u_k and u_l are nulls,
@@ -24,6 +31,7 @@ Design notes
 from __future__ import annotations
 
 import itertools
+import weakref
 from typing import Iterator, Union
 
 
@@ -53,25 +61,46 @@ class Const(Value):
     Constants compare by name.  Two ``Const`` objects with the same name
     are equal and interchangeable.
 
+    Constants are interned: equal live constants are the same object.
+
     >>> Const("a") == Const("a")
+    True
+    >>> Const("a") is Const("a")
     True
     >>> Const("a").is_null
     False
     """
 
-    __slots__ = ("name", "_hash")
+    __slots__ = ("name", "_hash", "__weakref__")
 
-    def __init__(self, name):
+    _interned: "weakref.WeakValueDictionary[str, Const]" = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, name):
         # Accept ints for convenience (Example 5.3 uses P(1), ..., P(n)).
-        self.name = str(name)
-        self._hash = hash(("Const", self.name))
+        name = str(name)
+        self = cls._interned.get(name)
+        if self is None:
+            self = super().__new__(cls)
+            self.name = name
+            self._hash = hash(("Const", name))
+            cls._interned[name] = self
+        return self
+
+    def __reduce__(self):
+        # Unpickling re-enters __new__, so interning (and with it the
+        # identity-comparison contract) survives the process pool.
+        return (Const, (self.name,))
 
     @property
     def is_null(self) -> bool:
         return False
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, Const) and self.name == other.name
+        return self is other or (
+            isinstance(other, Const) and self.name == other.name
+        )
 
     def __hash__(self) -> int:
         return self._hash
@@ -102,20 +131,37 @@ class Null(Value):
 
     Fresh nulls should be obtained from a :class:`NullFactory` so that
     identifiers never collide within one computation.
+
+    Nulls are interned: equal live nulls are the same object.
     """
 
-    __slots__ = ("ident", "_hash")
+    __slots__ = ("ident", "_hash", "__weakref__")
 
-    def __init__(self, ident: int):
-        self.ident = int(ident)
-        self._hash = hash(("Null", self.ident))
+    _interned: "weakref.WeakValueDictionary[int, Null]" = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, ident: int):
+        ident = int(ident)
+        self = cls._interned.get(ident)
+        if self is None:
+            self = super().__new__(cls)
+            self.ident = ident
+            self._hash = hash(("Null", ident))
+            cls._interned[ident] = self
+        return self
+
+    def __reduce__(self):
+        return (Null, (self.ident,))
 
     @property
     def is_null(self) -> bool:
         return True
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, Null) and self.ident == other.ident
+        return self is other or (
+            isinstance(other, Null) and self.ident == other.ident
+        )
 
     def __hash__(self) -> int:
         return self._hash

@@ -369,7 +369,10 @@ def _advance(setting: DataExchangeSetting, state: _State):
                 if tgd in setting.st_dependencies
                 else state.instance
             )
-            for premise_match in tgd.premise_matches(base):
+            # Materialize before firing: the compiled matcher iterates
+            # live index buckets and target tgds add to the very
+            # instance being matched.
+            for premise_match in list(tgd.premise_matches(base)):
                 key = justification_key(tgd, premise_match)
                 witnesses = state.alpha.get(key)
                 if witnesses is None:

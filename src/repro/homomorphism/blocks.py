@@ -94,37 +94,28 @@ def block_statistics(instance: Instance) -> Dict[str, float]:
     }
 
 
-def _block_fold(
-    current: Instance, owned: List[Atom], block: FrozenSet[Null], dropped: Atom
-) -> Optional[Dict[Null, Value]]:
-    """A mapping of *block nulls only* sending ``owned`` into
-    ``current ∖ {dropped}``, or None.
+def _block_pattern(
+    owned: List[Atom], block: FrozenSet[Null]
+) -> "Tuple[Tuple[Atom, ...], Dict]":
+    """The canonical pattern of a block's atoms, nulls-as-variables.
 
     Nulls outside the block are frozen (treated as rigid values), so the
-    extension of the mapping by the identity is an endomorphism of the
-    whole instance.
+    extension of any match by the identity is an endomorphism of the
+    whole instance.  Computed once per owned set and reused for every
+    dropped-atom attempt -- the attempts then share one compiled plan.
     """
     from ..core.terms import Variable
-    from ..logic.matching import attributed, first_match
 
     to_variable = {null: Variable(f"_b{null.ident}") for null in block}
-    pattern = [
+    pattern = tuple(
         Atom(
             atom.relation,
             tuple(to_variable.get(value, value) for value in atom.args),
         )
         for atom in owned
-    ]
-    smaller = current.copy()
-    smaller.discard(dropped)
-    _RETRACTS.inc()
-    with attributed("hom"):
-        found = first_match(pattern, smaller)
-    if found is None:
-        return None
-    _FOLDS.inc()
+    )
     back = {variable: null for null, variable in to_variable.items()}
-    return {back[variable]: value for variable, value in found.items()}
+    return pattern, back
 
 
 def _minimize_block(
@@ -135,19 +126,36 @@ def _minimize_block(
     Searches for a block-local homomorphism of the block's atoms into
     the full instance that drops at least one of them; applies the
     induced endomorphism (identity outside the block) and repeats.
+
+    One working copy per owned set is mutated (drop the atom, search,
+    put it back) instead of copying the instance per attempt.
     """
+    from ..logic.matching import attributed, first_match
+
     changed = False
     current = instance
     while block:
         owned = block_atoms(current, block)
         if not owned:
             break
+        pattern, back = _block_pattern(owned, block)
+        working = current.copy()
         folded_once = False
         for atom in owned:
-            mapping = _block_fold(current, owned, block, atom)
-            if mapping is None:
+            working.discard(atom)
+            _RETRACTS.inc()
+            with attributed("hom"):
+                found = first_match(pattern, working)
+            working.add(atom)
+            if found is None:
                 continue
-            replacement = current.copy()
+            _FOLDS.inc()
+            mapping = {
+                back[variable]: value for variable, value in found.items()
+            }
+            # ``working`` equals ``current`` again; reuse it as the
+            # replacement instead of taking another copy.
+            replacement = working
             for item in owned:
                 replacement.discard(item)
             for item in owned:

@@ -32,7 +32,7 @@ from ..core.atoms import Atom
 from ..core.instance import Instance
 from ..obs import counter, span
 from ..obs.provenance import active_ledger
-from .search import find_homomorphism, has_homomorphism
+from .search import canonical_pattern, has_homomorphism, homomorphism_via_pattern
 
 # Prefetched handles (counters survive ``repro.obs.reset``): fold_step
 # runs once per retained atom per fold round, so per-call registry
@@ -52,12 +52,23 @@ def fold_step(instance: Instance) -> Optional[Instance]:
     Tries to drop each null-containing atom; on success returns the
     *image* of the found homomorphism (which may drop several atoms at
     once, accelerating convergence).
+
+    The canonical pattern of ``instance`` is computed once and reused
+    for every retract attempt (each attempt then hits the plan cache),
+    and instead of copying the instance per attempt a single working
+    copy is mutated -- drop the atom, search, put it back -- so a round
+    over n atoms costs one copy, not n.
     """
-    for item in _foldable_atoms(instance):
-        smaller = instance.copy()
-        smaller.discard(item)
+    foldable = _foldable_atoms(instance)
+    if not foldable:
+        return None
+    pattern, back = canonical_pattern(instance)
+    working = instance.copy()
+    for item in foldable:
+        working.discard(item)
         _RETRACTS.inc()
-        mapping = find_homomorphism(instance, smaller)
+        mapping = homomorphism_via_pattern(pattern, back, working)
+        working.add(item)
         if mapping is not None:
             _FOLDS.inc()
             image = instance.rename_values(mapping)

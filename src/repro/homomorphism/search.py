@@ -29,11 +29,15 @@ Homomorphism = Dict[Value, Value]
 _SEARCHES = counter("hom.searches")
 
 
-def _canonical_pattern(instance: Instance) -> Tuple[Tuple[Atom, ...], Dict[Variable, Null]]:
+def canonical_pattern(instance: Instance) -> Tuple[Tuple[Atom, ...], Dict[Variable, Null]]:
     """Atoms of ``instance`` with nulls replaced by variables.
 
     Returns the pattern and the variable-to-null correspondence so a match
-    can be translated back into a homomorphism.
+    can be translated back into a homomorphism.  Callers probing many
+    targets against one source (core folding retracts the same instance
+    once per atom) should call this once and reuse the pattern: the
+    returned tuple is what the plan cache of :mod:`repro.logic.plans`
+    keys on, so reuse makes every probe after the first hit the cache.
     """
     to_variable = {
         value: Variable(f"_n{value.ident}") for value in instance.nulls()
@@ -47,6 +51,27 @@ def _canonical_pattern(instance: Instance) -> Tuple[Tuple[Atom, ...], Dict[Varia
     )
     back = {variable: null for null, variable in to_variable.items()}
     return pattern, back
+
+
+_canonical_pattern = canonical_pattern
+
+
+def homomorphism_via_pattern(
+    pattern: Tuple[Atom, ...],
+    back: Dict[Variable, Null],
+    target: Instance,
+) -> Optional[Homomorphism]:
+    """One search with a precomputed canonical pattern (see above).
+
+    Counts exactly like :func:`find_homomorphism`: one ``hom.searches``
+    increment and ``hom``-attributed matcher work.
+    """
+    _SEARCHES.inc()
+    with attributed("hom"):
+        substitution = first_match(pattern, target)
+    if substitution is None:
+        return None
+    return {back[variable]: value for variable, value in substitution.items()}
 
 
 def homomorphisms(source: Instance, target: Instance) -> Iterator[Homomorphism]:

@@ -133,7 +133,10 @@ class DatalogProgram:
         while delta:
             new_delta: List[Atom] = []
             for rule in self.rules:
-                for derived in self._fire(rule, database, delta):
+                # Materialize before inserting: the compiled matcher
+                # iterates live index buckets, so the database must not
+                # change under an open match generator.
+                for derived in list(self._fire(rule, database, delta)):
                     if database.add(derived):
                         new_delta.append(derived)
             delta = new_delta

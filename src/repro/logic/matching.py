@@ -11,22 +11,30 @@ The matcher enumerates all substitutions ``θ`` of the pattern variables by
 values of the instance such that every pattern atom ``A`` satisfies
 ``θ(A) ∈ I`` and every inequality ``s ≠ t`` satisfies ``θ(s) ≠ θ(t)``.
 
-Strategy: at each step pick the *most constrained* remaining atom -- the
-one with the fewest candidate instance atoms given the current partial
-substitution -- using the instance's (relation, position, value) index.
-This is the classic fail-first heuristic and makes homomorphism search and
-chase premise evaluation fast on the block-structured instances the chase
-produces.
+By default ``match()`` routes through the **compiled plans** of
+:mod:`repro.logic.plans`: each distinct (pattern, inequalities,
+pre-bound variables) triple is compiled once -- static fail-first join
+order, slot arrays, index-probe programs, O(1) ground probes -- and the
+plan is cached, so the repeated evaluations of a chase pay only for
+execution.  The original interpreted matcher below is kept verbatim as
+the **reference oracle** (:func:`match_interpreted`, and the fallback
+when :func:`repro.logic.plans.enabled` is False): at each step it picks
+the *most constrained* remaining atom -- the one with the fewest
+candidate instance atoms given the current partial substitution --
+using the instance's (relation, position, value) index.  The hypothesis
+parity suite asserts the two enumerate identical substitution sets.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom, Substitution
 from ..core.instance import Instance
 from ..core.terms import Term, Value, Variable
 from ..obs import Counter, counter
+from . import plans
 
 Inequality = Tuple[Term, Term]
 
@@ -38,7 +46,14 @@ Inequality = Tuple[Term, Term]
 # Outside any block the matcher runs the plain variant -- ``match()`` is
 # the single hottest function in the library and the chase's premise
 # evaluation must not pay for bookkeeping nobody asked for.
-_SCOPE_COUNTERS: Dict[str, Tuple[Counter, Counter]] = {}
+#
+# The registry is a bounded LRU of *handles*: the counters themselves
+# live in the repro.obs registry; evicting a handle here only means the
+# next use of that scope re-fetches it.  Long-running multi-scenario
+# processes (one scope per scenario name, say) therefore cannot grow
+# this dict without limit.
+_SCOPE_LIMIT = 64
+_SCOPE_COUNTERS: "OrderedDict[str, Tuple[Counter, Counter]]" = OrderedDict()
 
 #: The counter pair of the innermost ``attributed`` block, or None.
 _ACTIVE_COUNTERS: Optional[Tuple[Counter, Counter]] = None
@@ -49,6 +64,10 @@ def _scope_counters(scope: str) -> Tuple[Counter, Counter]:
     if pair is None:
         pair = (counter(scope + ".candidates"), counter(scope + ".backtracks"))
         _SCOPE_COUNTERS[scope] = pair
+        if len(_SCOPE_COUNTERS) > _SCOPE_LIMIT:
+            _SCOPE_COUNTERS.popitem(last=False)
+    else:
+        _SCOPE_COUNTERS.move_to_end(scope)
     return pair
 
 
@@ -250,11 +269,30 @@ def match(
                     f"initial substitution must map to values, got {term!r}"
                 )
             bound[variable] = term
+
+    counters = _ACTIVE_COUNTERS
+
+    if plans.enabled():
+        plan = plans.plan_for(patterns, inequalities, bound)
+        if counters is None:
+            yield from plan.matches(instance, bound)
+            return
+        counts = [0, 0]
+        try:
+            yield from plan.matches(instance, bound, counts)
+        finally:
+            # Flushed exactly once, also when the consumer stops early
+            # (generator close) -- first_match and exists_match do.
+            if counts[0]:
+                candidate_counter, backtrack_counter = counters
+                candidate_counter.value += counts[0]
+                backtrack_counter.value += counts[1]
+        return
+
     if not _inequalities_hold(inequalities, bound):
         return
 
     remaining = list(patterns)
-    counters = _ACTIVE_COUNTERS
     if counters is None:
         for result in _search(remaining, instance, bound, inequalities):
             yield Substitution(result)
@@ -267,12 +305,36 @@ def match(
         ):
             yield Substitution(result)
     finally:
-        # Flushed exactly once, also when the consumer stops early
-        # (generator close) -- first_match and exists_match do.
         if counts[0]:
             candidate_counter, backtrack_counter = counters
             candidate_counter.value += counts[0]
             backtrack_counter.value += counts[1]
+
+
+def match_interpreted(
+    patterns: Sequence[Atom],
+    instance: Instance,
+    *,
+    initial: Optional[Substitution] = None,
+    inequalities: Sequence[Inequality] = (),
+) -> Iterator[Substitution]:
+    """The interpreted reference matcher, bypassing compiled plans.
+
+    Same contract as :func:`match`.  The parity suite diffs the two;
+    keep this path semantically frozen.
+    """
+    bound: Dict[Variable, Value] = {}
+    if initial is not None:
+        for variable, term in initial.items():
+            if not isinstance(term, Value):
+                raise TypeError(
+                    f"initial substitution must map to values, got {term!r}"
+                )
+            bound[variable] = term
+    if not _inequalities_hold(inequalities, bound):
+        return
+    for result in _search(list(patterns), instance, bound, inequalities):
+        yield Substitution(result)
 
 
 def exists_match(
