@@ -22,6 +22,7 @@ BENCH_CHASE_FILE = "BENCH_chase.json"
 BENCH_TABLE1_FILE = "BENCH_table1.json"
 BENCH_ENGINE_FILE = "BENCH_engine.json"
 BENCH_MATCHING_FILE = "BENCH_matching.json"
+BENCH_OBS_FILE = "BENCH_obs.json"
 
 
 def fit_polynomial_degree(sizes, times):
@@ -118,6 +119,7 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_TABLE1_FILE: [],
         BENCH_ENGINE_FILE: [],
         BENCH_MATCHING_FILE: [],
+        BENCH_OBS_FILE: [],
     }
     for bench in benches:
         fullname = getattr(bench, "fullname", "") or ""
@@ -127,6 +129,8 @@ def pytest_sessionfinish(session, exitstatus):
             target = BENCH_ENGINE_FILE
         elif "bench_matching" in fullname:
             target = BENCH_MATCHING_FILE
+        elif "bench_obs" in fullname:
+            target = BENCH_OBS_FILE
         else:
             target = BENCH_CHASE_FILE
         groups[target].append(bench)

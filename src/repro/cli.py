@@ -38,7 +38,10 @@ except ``solve``, which has no per-item work to split -- ``--workers N``
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
+import uuid
 from typing import List, Optional, Sequence
 
 from . import obs
@@ -156,6 +159,16 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         help=(
             "record a derivation provenance ledger during the run and "
             "write it to PATH as repro.obs/prov/v1 JSON"
+        ),
+    )
+    subparser.add_argument(
+        "--metrics-log",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append one repro.obs/log/v1 JSONL record (status, wall "
+            "seconds, full telemetry snapshot) to PATH; $REPRO_METRICS "
+            "sets the default path"
         ),
     )
 
@@ -389,6 +402,33 @@ def command_bench_compare(args: argparse.Namespace) -> int:
     return run_gate(args.baseline, args.fresh, tolerance=args.tolerance)
 
 
+def command_stats(args: argparse.Namespace) -> int:
+    from .obs.stats import load_stats_file, render_delta, render_stats
+
+    if len(args.files) > 2:
+        raise ReproError("stats takes one file (table) or two (delta view)")
+    loaded = [load_stats_file(path) for path in args.files]
+    if args.json:
+        import json as json_module
+
+        merged = [snapshot for snapshot, _ in loaded]
+        print(
+            json_module.dumps(
+                merged[0] if len(merged) == 1 else merged,
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if len(loaded) == 1:
+        snapshot, runs = loaded[0]
+        print(render_stats(snapshot, runs=runs, title=args.files[0]))
+    else:
+        (baseline, _), (fresh, _) = loaded
+        print(render_delta(baseline, fresh))
+    return 0
+
+
 def command_analyze(args: argparse.Namespace) -> int:
     setting = load_setting(args.setting)
     print(f"source schema : {' '.join(setting.source_schema.names)}")
@@ -523,6 +563,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(run=command_bench_compare)
 
+    stats_cmd = commands.add_parser(
+        "stats",
+        help=(
+            "aggregate telemetry snapshots / --metrics-log files into a "
+            "table, or diff two of them"
+        ),
+    )
+    stats_cmd.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help=(
+            "one repro.obs/v1 snapshot or repro.obs/log/v1 metrics log "
+            "(aggregate table), or two (baseline then fresh: delta view)"
+        ),
+    )
+    stats_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the merged snapshot(s) as JSON instead of a table",
+    )
+    stats_cmd.set_defaults(run=command_stats)
+
     return parser
 
 
@@ -533,10 +596,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sinks: List[obs.EventSink] = []
     previous_sink = None
     recorder = None
+    metrics_path = None
     if has_obs_flags:
         # Per-invocation metrics: zero the registry so --profile and the
         # trace flags describe exactly this command.
         obs.reset()
+        metrics_path = args.metrics_log or os.environ.get("REPRO_METRICS")
         if args.trace_json:
             sinks.append(obs.JsonLinesSink(args.trace_json))
         if args.trace_viewer:
@@ -549,8 +614,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             recorder = recording()
             recorder.__enter__()
+    started = time.perf_counter()
+    status = 2
     try:
-        return args.run(args)
+        status = args.run(args)
+        return status
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -561,6 +629,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if has_obs_flags and args.profile:
             print("=== profile (per-phase wall times) ===", file=sys.stderr)
             print(obs.render_profile(), file=sys.stderr)
+        if metrics_path:
+            # One structured run record per invocation, status included,
+            # so failing runs are logged too.
+            try:
+                with obs.MetricsLog(metrics_path) as metrics_log:
+                    metrics_log.log_run(
+                        command=args.command,
+                        status=status,
+                        seconds=time.perf_counter() - started,
+                        snapshot=obs.snapshot(),
+                        run_id=uuid.uuid4().hex[:16],
+                        argv=list(argv) if argv is not None else sys.argv[1:],
+                    )
+            except OSError as error:
+                print(
+                    f"warning: cannot append metrics log: {error}",
+                    file=sys.stderr,
+                )
         if sinks:
             obs.get_telemetry().emit_snapshot()
             obs.install_sink(previous_sink)

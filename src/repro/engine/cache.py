@@ -23,7 +23,10 @@ The in-memory tier is a bounded LRU (``memory_slots`` entries) in front
 of the disk tier; :meth:`invalidate` evicts from both.  Telemetry:
 ``engine.cache.hits`` / ``.misses`` / ``.writes`` / ``.invalidations``
 counters, with memory-tier hits double-counted under
-``engine.cache.memory_hits``.
+``engine.cache.memory_hits``; per-lookup latency distributions land in
+the ``engine.cache.hit_seconds`` / ``.miss_seconds`` histograms (a
+memory hit, a disk hit, and a disk miss differ by orders of magnitude,
+which totals alone cannot show).
 """
 
 from __future__ import annotations
@@ -31,11 +34,12 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
 
-from ..obs import counter
+from ..obs import counter, histogram
 
 #: Payload schema tag; every entry this module writes carries it.
 CACHE_SCHEMA = "repro.engine/v1"
@@ -80,12 +84,16 @@ class ResultCache:
         Hits promote the entry to most-recently-used in the memory tier;
         disk hits populate it.
         """
+        started = time.perf_counter()
         slot = (kind, key)
         found = self._memory.get(slot)
         if found is not None:
             self._memory.move_to_end(slot)
             counter("engine.cache.hits").inc()
             counter("engine.cache.memory_hits").inc()
+            histogram("engine.cache.hit_seconds").record(
+                time.perf_counter() - started
+            )
             return found
         path = self.path_for(kind, key)
         try:
@@ -93,6 +101,9 @@ class ResultCache:
                 entry = json.load(handle)
         except (OSError, json.JSONDecodeError):
             counter("engine.cache.misses").inc()
+            histogram("engine.cache.miss_seconds").record(
+                time.perf_counter() - started
+            )
             return None
         if (
             not isinstance(entry, dict)
@@ -101,10 +112,16 @@ class ResultCache:
             or "payload" not in entry
         ):
             counter("engine.cache.misses").inc()
+            histogram("engine.cache.miss_seconds").record(
+                time.perf_counter() - started
+            )
             return None
         payload = entry["payload"]
         self._remember(slot, payload)
         counter("engine.cache.hits").inc()
+        histogram("engine.cache.hit_seconds").record(
+            time.perf_counter() - started
+        )
         return payload
 
     def put(self, kind: str, key: str, payload: dict) -> Path:

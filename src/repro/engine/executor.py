@@ -15,9 +15,18 @@ the rest of the library relies on:
   results, no pool.  ``REPRO_WORKERS`` sets the default width.
 * **Telemetry.**  ``engine.tasks_dispatched`` counts items handed to
   the pool, ``engine.serial_tasks`` items run in-process,
-  ``engine.pickle_fallbacks`` probe failures; per-worker wall time
-  accumulates in the ``engine.worker`` span stats (recorded by the
-  parent from timings measured inside the workers).
+  ``engine.pickle_fallbacks`` probe failures.  Every pooled task runs
+  inside :func:`_run_task`, a worker harness that resets the worker's
+  registry, roots its span stack at the parent's current span path,
+  runs the task, and ships the whole registry state (counters, span
+  histograms, standalone histograms, and -- when the parent has a live
+  sink -- the raw trace events) back alongside the result.  The parent
+  folds each blob in by name via ``Telemetry.merge_state``, so
+  ``snapshot()`` reflects all work regardless of ``REPRO_WORKERS`` and
+  a parallel ``--trace-viewer`` renders one coherent trace with a lane
+  per worker.  Task latency and pool queue wait land in the
+  ``engine.executor.task_seconds`` / ``.queue_wait_seconds``
+  histograms.
 
 Worker callables must be module-level functions (fork + pickle); the
 higher-level entry points (:meth:`Executor.map_worlds`,
@@ -30,10 +39,11 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from ..obs import counter, span_stats
+from ..obs import NULL_SINK, RecordingSink, counter, get_telemetry, histogram
 
 #: Environment variable consulted for the default pool width.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -50,12 +60,49 @@ def default_workers() -> int:
         return 1
 
 
-def _timed(payload: Tuple[Callable, tuple]) -> Tuple[float, object]:
-    """Run one task in a worker, returning (elapsed seconds, result)."""
-    fn, args = payload
+def _run_task(payload: tuple) -> Tuple[float, object, dict]:
+    """The worker harness: run one task under fresh worker telemetry.
+
+    Returns ``(elapsed seconds, result, state)`` where ``state`` is the
+    worker registry's picklable ``export_state`` blob plus the pool
+    queue wait, the worker's pid (its trace lane), and -- when the
+    parent asked for them -- the task's raw trace events.
+
+    The registry is reset *in place* at task start: forked workers
+    inherit the parent's aggregates, and without the reset those
+    inherited values would be exported and double-counted on merge.
+    Resetting in place keeps module-level prefetched Counter handles
+    valid (the documented hot-path idiom).
+    """
+    fn, args, label, base_path, want_events, submitted_wall = payload
+    telemetry = get_telemetry()
+    telemetry.reset()
+    telemetry.seed(base_path)
+    queue_wait = max(0.0, time.time() - submitted_wall)
+    # Never emit into an inherited parent sink (a forked JsonLinesSink
+    # would interleave writes with the parent's): record locally when
+    # the parent wants events, otherwise stay silent.
+    sink = RecordingSink() if want_events else NULL_SINK
+    previous_sink = telemetry.install_sink(sink)
     start = time.perf_counter()
-    result = fn(*args)
-    return time.perf_counter() - start, result
+    try:
+        # The labeled span is opened *here*, in the worker, so its stats
+        # (and, when traced, its start/end events) travel back in the
+        # state blob: the parent's merged snapshot aggregates per-task
+        # worker wall time under ``<parent span>/<label>``, and every
+        # task is visible on its worker's trace lane even when the task
+        # body has no instrumentation of its own.
+        with telemetry.span(label):
+            result = fn(*args)
+    finally:
+        elapsed = time.perf_counter() - start
+        telemetry.install_sink(previous_sink)
+    state = telemetry.export_state()
+    state["queue_wait"] = queue_wait
+    state["lane"] = os.getpid()
+    if want_events:
+        state["events"] = sink.events
+    return elapsed, result, state
 
 
 class Executor:
@@ -69,6 +116,9 @@ class Executor:
     def __init__(self, workers: Optional[int] = None):
         self.workers = default_workers() if workers is None else max(1, workers)
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Propagated into every worker-side trace event this executor
+        #: replays, so a multi-process trace is attributable to one run.
+        self.trace_id = uuid.uuid4().hex[:16]
 
     @property
     def parallel(self) -> bool:
@@ -133,13 +183,19 @@ class Executor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         counter("engine.tasks_dispatched").inc(len(tasks))
-        stats = span_stats(label)
+        telemetry = get_telemetry()
+        base_path = telemetry.current_path
+        want_events = telemetry.emitting
+        submitted_wall = time.time()
+        payloads = [
+            (fn, args, label, base_path, want_events, submitted_wall)
+            for args in tasks
+        ]
         results: List[object] = []
+        worker_states: List[Tuple[float, dict]] = []
         try:
-            for elapsed, result in self._pool.map(
-                _timed, [(fn, args) for args in tasks]
-            ):
-                stats.record(elapsed)
+            for elapsed, result, state in self._pool.map(_run_task, payloads):
+                worker_states.append((elapsed, state))
                 results.append(result)
         except (pickle.PicklingError, AttributeError, TypeError):
             # A later task failed to pickle after the probe passed (e.g.
@@ -148,6 +204,26 @@ class Executor:
             counter("engine.pickle_fallbacks").inc()
             counter("engine.serial_tasks").inc(len(tasks))
             return [fn(*args) for args in tasks]
+        # Merge only after the whole batch came back: the serial
+        # fallback above re-runs everything, so folding worker blobs in
+        # as they stream would double-count a half-completed batch.
+        # Per-task wall time under the ``label`` span arrives via the
+        # worker harness's own span (merged below), so the parent only
+        # records the executor-level histograms here.
+        task_hist = histogram("engine.executor.task_seconds")
+        wait_hist = histogram("engine.executor.queue_wait_seconds")
+        for elapsed, state in worker_states:
+            task_hist.record(elapsed)
+            wait_hist.record(float(state.get("queue_wait", 0.0)))
+            telemetry.merge_state(state)
+            events = state.get("events")
+            if events:
+                telemetry.replay_events(
+                    events,
+                    lane=int(state.get("lane", 0)),
+                    epoch_wall=float(state["epoch_wall"]),
+                    trace_id=self.trace_id,
+                )
         return results
 
     # ------------------------------------------------------------------

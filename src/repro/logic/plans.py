@@ -64,7 +64,7 @@ from typing import (
 from ..core.atoms import Atom, Substitution
 from ..core.instance import Instance
 from ..core.terms import Term, Value, Variable
-from ..obs import counter
+from ..obs import counter, register_gauge_provider
 
 Inequality = Tuple[Term, Term]
 
@@ -73,6 +73,12 @@ Inequality = Tuple[Term, Term]
 # attribute increment.
 _COMPILATIONS = counter("plan.compilations")
 _CACHE_HITS = counter("plan.cache_hits")
+
+# Snapshot-time gauge: the LRU's occupancy, read lazily so plan_for
+# never touches a gauge on the hot path.
+register_gauge_provider(
+    lambda telemetry: telemetry.gauge("plan.cache_size").set(len(_CACHE))
+)
 
 _EMPTY_KEYS: FrozenSet[Variable] = frozenset()
 

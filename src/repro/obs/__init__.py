@@ -29,6 +29,7 @@ import logging
 import os
 from typing import Iterator, List, Optional
 
+from .metrics import Histogram, MetricsLog
 from .provenance import (
     Justification,
     ProvenanceLedger,
@@ -45,13 +46,24 @@ from .sinks import (
     TeeSink,
     TraceViewerSink,
 )
-from .telemetry import DEFAULT, SCHEMA, Counter, Gauge, SpanStats, Telemetry
+from .telemetry import (
+    DEFAULT,
+    SCHEMA,
+    STATE_SCHEMA,
+    Counter,
+    Gauge,
+    SpanStats,
+    Telemetry,
+    register_gauge_provider,
+)
 
 __all__ = [
     "Counter",
     "EventSink",
     "Gauge",
+    "Histogram",
     "JsonLinesSink",
+    "MetricsLog",
     "Justification",
     "LoggingSink",
     "NULL_SINK",
@@ -59,6 +71,7 @@ __all__ = [
     "ProvenanceLedger",
     "RecordingSink",
     "SCHEMA",
+    "STATE_SCHEMA",
     "SpanStats",
     "TeeSink",
     "Telemetry",
@@ -69,7 +82,9 @@ __all__ = [
     "event",
     "gauge",
     "get_telemetry",
+    "histogram",
     "install_sink",
+    "register_gauge_provider",
     "recording",
     "render_profile",
     "reset",
@@ -99,6 +114,10 @@ def span(name: str):
 
 def span_stats(name: str) -> SpanStats:
     return DEFAULT.span_stats(name)
+
+
+def histogram(name: str) -> Histogram:
+    return DEFAULT.histogram(name)
 
 
 def event(name: str, **fields) -> None:
@@ -133,11 +152,32 @@ def render_profile(data: Optional[dict] = None) -> str:
     spans = state.get("spans", {})
     if spans:
         width = max(len(path) for path in spans)
-        lines.append(f"{'span'.ljust(width)}  {'calls':>7}  {'seconds':>10}")
+        lines.append(
+            f"{'span'.ljust(width)}  {'calls':>7}  {'seconds':>10}"
+            f"  {'p50':>10}  {'p95':>10}  {'max':>10}"
+        )
         for path, stats in spans.items():
             lines.append(
                 f"{path.ljust(width)}  {stats['count']:>7}  "
-                f"{stats['seconds']:>10.4f}"
+                f"{stats['seconds']:>10.4f}  "
+                f"{stats.get('p50', 0.0):>10.6f}  "
+                f"{stats.get('p95', 0.0):>10.6f}  "
+                f"{stats.get('max', 0.0):>10.6f}"
+            )
+    histograms = state.get("histograms", {})
+    if histograms:
+        if lines:
+            lines.append("")
+        width = max(len(name) for name in histograms)
+        lines.append(
+            f"{'histogram'.ljust(width)}  {'count':>7}  {'sum':>10}"
+            f"  {'p50':>10}  {'p95':>10}  {'p99':>10}"
+        )
+        for name, stats in histograms.items():
+            lines.append(
+                f"{name.ljust(width)}  {stats['count']:>7}  "
+                f"{stats['sum']:>10.4f}  {stats['p50']:>10.6f}  "
+                f"{stats['p95']:>10.6f}  {stats['p99']:>10.6f}"
             )
     counters = state.get("counters", {})
     if counters:

@@ -22,15 +22,47 @@ its JSON rendering.
 from __future__ import annotations
 
 import json
+import sys
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
+from .metrics import Histogram
 from .sinks import NULL_SINK, EventSink
 
 SCHEMA = "repro.obs/v1"
 
+#: Schema tag of the picklable cross-process state blob shipped from
+#: worker processes back to the parent (``export_state``/``merge_state``).
+STATE_SCHEMA = "repro.obs/state/v1"
+
 Number = Union[int, float]
+
+#: Callables invoked with the registry at every ``snapshot()`` so
+#: lazily-derived gauges (peak RSS, plan-cache size) are fresh without
+#: the hot paths paying for them.  Modules register their own provider
+#: at import time; provider failures never break a snapshot.
+_GAUGE_PROVIDERS: List[Callable[["Telemetry"], None]] = []
+
+
+def register_gauge_provider(provider: Callable[["Telemetry"], None]) -> None:
+    """Run ``provider(telemetry)`` before every snapshot (errors ignored)."""
+    _GAUGE_PROVIDERS.append(provider)
+
+
+def _peak_rss_gauge(telemetry: "Telemetry") -> None:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is bytes on macOS, kilobytes everywhere else.
+    if sys.platform != "darwin":
+        peak *= 1024
+    telemetry.gauge("process.peak_rss_bytes").set(peak)
+
+
+register_gauge_provider(_peak_rss_gauge)
 
 
 class Counter:
@@ -66,18 +98,56 @@ class Gauge:
 
 
 class SpanStats:
-    """Aggregate for one span path: how often, how long in total."""
+    """Aggregate for one span path: count, total, min/max, distribution.
 
-    __slots__ = ("path", "count", "seconds")
+    Backed by one :class:`~repro.obs.metrics.Histogram`, so every span
+    path carries latency percentiles for free and two processes' stats
+    for the same path merge exactly (bucket-wise).  ``count`` /
+    ``seconds`` / ``min`` / ``max`` read through to the histogram.
+    """
+
+    __slots__ = ("path", "hist")
 
     def __init__(self, path: str):
         self.path = path
-        self.count = 0
-        self.seconds = 0.0
+        self.hist = Histogram(path)
+
+    @property
+    def count(self) -> int:
+        return self.hist.count
+
+    @property
+    def seconds(self) -> float:
+        return self.hist.sum
+
+    @property
+    def min(self) -> float:
+        return self.hist.min if self.hist.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self.hist.max
 
     def record(self, seconds: float) -> None:
-        self.count += 1
-        self.seconds += seconds
+        self.hist.record(seconds)
+
+    def zero(self) -> None:
+        self.hist.zero()
+
+    def merge_dict(self, state: dict) -> None:
+        """Fold a serialized histogram (worker export) into this span."""
+        self.hist.merge_dict(state)
+
+    def to_dict(self) -> dict:
+        """The snapshot entry: additive superset of the v1 count/seconds.
+
+        ``repro.obs/v1`` consumers keep reading ``count``/``seconds``;
+        ``min``/``max``, percentiles, and the sparse ``buckets`` map
+        (which keeps snapshots mergeable by ``repro stats``) are new.
+        """
+        state = self.hist.to_dict()
+        state["seconds"] = state.pop("sum")
+        return state
 
     def __repr__(self) -> str:
         return f"SpanStats({self.path}: n={self.count}, {self.seconds:.4f}s)"
@@ -91,8 +161,13 @@ class Telemetry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._spans: Dict[str, SpanStats] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._stack: List[str] = []
         self._epoch = time.perf_counter()
+        # Wall-clock twin of the perf_counter epoch: worker processes
+        # ship theirs back so the parent can place worker trace events
+        # on its own timeline (same machine, so skew is negligible).
+        self._epoch_wall = time.time()
 
     # -- sink management ------------------------------------------------
 
@@ -126,6 +201,18 @@ class Telemetry:
         found = self._gauges.get(name)
         if found is None:
             found = self._gauges[name] = Gauge(name)
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        """A named standalone latency histogram (p50/p95/p99 in snapshots).
+
+        Distinct from the per-span histograms: use this for latencies
+        that are not spans -- cache hit/miss lookups, executor queue
+        waits -- recorded with ``histogram(name).record(seconds)``.
+        """
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name)
         return found
 
     @contextmanager
@@ -194,7 +281,19 @@ class Telemetry:
     # -- export ---------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """The aggregate state as a plain dict (stable schema)."""
+        """The aggregate state as a plain dict (stable, additive schema).
+
+        ``spans`` entries keep the v1 ``count``/``seconds`` keys and
+        additionally carry ``min``/``max``, ``p50``/``p95``/``p99``,
+        and the sparse ``buckets`` map; ``histograms`` is a new section
+        for the standalone latency histograms.  Gauge providers (peak
+        RSS, plan-cache size) run first so derived gauges are fresh.
+        """
+        for provider in _GAUGE_PROVIDERS:
+            try:
+                provider(self)
+            except Exception:
+                pass
         return {
             "schema": SCHEMA,
             "counters": {
@@ -204,8 +303,12 @@ class Telemetry:
                 name: item.value for name, item in sorted(self._gauges.items())
             },
             "spans": {
-                path: {"count": item.count, "seconds": item.seconds}
+                path: item.to_dict()
                 for path, item in sorted(self._spans.items())
+            },
+            "histograms": {
+                name: item.to_dict()
+                for name, item in sorted(self._histograms.items())
             },
         }
 
@@ -231,10 +334,115 @@ class Telemetry:
         for item in self._gauges.values():
             item.value = 0
         for item in self._spans.values():
-            item.count = 0
-            item.seconds = 0.0
+            item.zero()
+        for item in self._histograms.values():
+            item.zero()
         self._stack.clear()
         self._epoch = time.perf_counter()
+        self._epoch_wall = time.time()
+
+    # -- cross-process propagation --------------------------------------
+
+    @property
+    def current_path(self) -> Optional[str]:
+        """The innermost open span path, or None at top level."""
+        return self._stack[-1] if self._stack else None
+
+    def seed(self, path: Optional[str]) -> None:
+        """Root subsequent spans under ``path`` (worker harness hook).
+
+        A worker seeded with the parent's :attr:`current_path` produces
+        span paths identical to the ones an in-process run would have
+        recorded, so merged parallel snapshots line up with serial ones.
+        """
+        self._stack[:] = [path] if path else []
+
+    def export_state(self) -> dict:
+        """The registry as one picklable, mergeable blob.
+
+        Everything :meth:`merge_state` needs to replay this process's
+        aggregates into another registry: counters, gauges, spans and
+        histograms in serialized-histogram form, plus the wall-clock
+        epoch for trace-event time alignment.  Gauge providers are *not*
+        run -- worker-derived gauges like peak RSS describe the worker
+        process and would clobber the parent's.
+        """
+        return {
+            "schema": STATE_SCHEMA,
+            "epoch_wall": self._epoch_wall,
+            "counters": {
+                name: item.value
+                for name, item in self._counters.items()
+                if item.value
+            },
+            # Zero-valued entries are dropped: a worker blob should only
+            # carry what its task actually touched, so merging cannot
+            # clobber a parent gauge with a worker's untouched zero.
+            "gauges": {
+                name: item.value
+                for name, item in self._gauges.items()
+                if item.value
+            },
+            # Same zero filter for spans/histograms: an in-place reset
+            # keeps inherited registry keys around with count 0, and an
+            # empty entry's serialized ``min`` (0.0) must never reach a
+            # parent merge as if it were an observation.
+            "spans": {
+                path: item.hist.to_dict()
+                for path, item in self._spans.items()
+                if item.count
+            },
+            "histograms": {
+                name: item.to_dict()
+                for name, item in self._histograms.items()
+                if item.count
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an :meth:`export_state` blob into this registry by name.
+
+        Counters add, gauges are last-write-wins, span stats and
+        histograms merge bucket-wise -- the merge is associative, so
+        any number of worker blobs folded in any grouping agree.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for path, hist_state in state.get("spans", {}).items():
+            found = self._spans.get(path)
+            if found is None:
+                found = self._spans[path] = SpanStats(path)
+            found.merge_dict(hist_state)
+        for name, hist_state in state.get("histograms", {}).items():
+            self.histogram(name).merge_dict(hist_state)
+
+    def replay_events(
+        self,
+        events: List[dict],
+        *,
+        lane: int,
+        epoch_wall: float,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Re-emit worker trace events through this registry's sink.
+
+        Timestamps are shifted from the worker's epoch onto this
+        registry's, each event is tagged with its worker ``lane`` (the
+        trace viewer renders one track per lane) and the propagated
+        ``trace`` id.  No-op under the null sink.
+        """
+        if self._sink is NULL_SINK or not events:
+            return
+        offset = epoch_wall - self._epoch_wall
+        for event in events:
+            shifted = dict(event)
+            shifted["ts"] = float(shifted.get("ts", 0.0)) + offset
+            shifted["lane"] = lane
+            if trace_id is not None:
+                shifted["trace"] = trace_id
+            self._sink.emit(shifted)
 
 
 #: The process-wide default registry used by the module-level helpers in

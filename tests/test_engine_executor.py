@@ -176,6 +176,103 @@ class TestEnumerationParity:
             assert any(isomorphic(candidate, other) for other in parallel)
 
 
+def _merged_counters(snapshot):
+    """Counter totals that must agree between serial and pooled runs.
+
+    ``engine.*`` accounting legitimately differs (serial_tasks vs
+    tasks_dispatched), and ``plan.*`` differs because each worker
+    process compiles into its own plan cache.
+    """
+    return {
+        name: value
+        for name, value in snapshot["counters"].items()
+        if not name.startswith(("engine.", "plan."))
+    }
+
+
+class TestTelemetryParity:
+    """Merged worker telemetry equals one registry that saw every task."""
+
+    def _snapshots(self):
+        setting = example_2_1_setting()
+        source = example_2_1_source()
+        query = parse_query("Q(x) :- E(x, y)")
+        obs.reset()
+        serial = all_four_semantics(setting, source, query)
+        serial_snapshot = obs.snapshot()
+        obs.reset()
+        with Executor(workers=2) as executor:
+            parallel = all_four_semantics(
+                setting, source, query, executor=executor
+            )
+        parallel_snapshot = obs.snapshot()
+        assert serial == parallel
+        return serial_snapshot, parallel_snapshot
+
+    def test_counter_totals_agree(self):
+        serial_snapshot, parallel_snapshot = self._snapshots()
+        assert _merged_counters(serial_snapshot) == _merged_counters(
+            parallel_snapshot
+        )
+
+    def test_span_counts_agree_on_shared_paths(self):
+        serial_snapshot, parallel_snapshot = self._snapshots()
+        # obs.reset() zeroes span stats but keeps registered paths, so
+        # compare only paths that actually fired in this run.
+        serial_spans = {
+            path: entry
+            for path, entry in serial_snapshot["spans"].items()
+            if entry["count"]
+        }
+        parallel_spans = parallel_snapshot["spans"]
+        assert serial_spans, "serial run recorded no spans"
+        for path, entry in serial_spans.items():
+            assert entry["count"] == parallel_spans[path]["count"], path
+
+    def test_executor_histograms_count_dispatched_tasks(self):
+        with Executor(workers=2) as executor:
+            executor.map_worlds(_square, list(range(6)))
+        snapshot = obs.snapshot()
+        dispatched = snapshot["counters"]["engine.tasks_dispatched"]
+        assert dispatched == 6
+        histograms = snapshot["histograms"]
+        assert histograms["engine.executor.task_seconds"]["count"] == 6
+        waits = histograms["engine.executor.queue_wait_seconds"]
+        assert waits["count"] == 6
+        assert waits["min"] >= 0.0
+
+    def test_worker_spans_nest_under_parent_path(self):
+        with Executor(workers=2) as executor:
+            with obs.span("outer"):
+                executor.map_worlds(_square, list(range(4)))
+        spans = obs.snapshot()["spans"]
+        assert spans["outer/engine.worlds"]["count"] == 4
+        # Merging worker blobs must not zero the parent's span minima
+        # (forked workers export only entries their task touched).
+        assert spans["outer"]["min"] > 0.0
+        assert spans["outer/engine.worlds"]["min"] > 0.0
+
+    def test_worker_events_carry_lanes(self):
+        sink = obs.RecordingSink()
+        previous = obs.install_sink(sink)
+        try:
+            with Executor(workers=2) as executor:
+                executor.map_worlds(_square, list(range(8)))
+        finally:
+            obs.install_sink(previous)
+        worker_events = [e for e in sink.events if "lane" in e]
+        assert worker_events, "no worker trace events replayed"
+        lanes = {e["lane"] for e in worker_events}
+        assert all(lane != os.getpid() for lane in lanes)
+        trace_ids = {e.get("trace") for e in worker_events}
+        assert len(trace_ids) == 1
+        for lane in lanes:
+            in_lane = [e for e in worker_events if e["lane"] == lane]
+            starts = sum(1 for e in in_lane if e["type"] == "span_start")
+            ends = sum(1 for e in in_lane if e["type"] == "span_end")
+            assert starts == ends
+
+
 class TestDecisionParity:
     def test_general_setting_membership(self):
         # Example 5.3 settings are outside the CanSol classes, so the

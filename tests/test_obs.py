@@ -155,10 +155,23 @@ class TestSchema:
         state = obs.snapshot()
         assert json.loads(obs.to_json()) == state
         assert state["schema"] == obs.SCHEMA == "repro.obs/v1"
-        assert set(state) == {"schema", "counters", "gauges", "spans"}
+        assert set(state) == {
+            "schema",
+            "counters",
+            "gauges",
+            "spans",
+            "histograms",
+        }
         assert state["counters"]["chase.tgd_firings"] == 4
         assert state["gauges"]["instance.nulls"] == 2
         assert state["spans"]["solve"]["count"] == 1
+        # Additive v1 extensions: every span entry carries min/max and
+        # histogram-derived percentiles next to count/seconds.
+        entry = state["spans"]["solve"]
+        assert {"count", "seconds", "min", "max", "p50", "p95", "p99"} <= set(
+            entry
+        )
+        assert 0.0 < entry["min"] <= entry["p50"] <= entry["max"]
 
     def test_reset_keeps_prefetched_handles_alive(self):
         handle = obs.counter("chase.tgd_firings")
@@ -278,8 +291,10 @@ class TestSinks:
         sink.close()
         payload = json.loads(path.read_text(encoding="utf-8"))
         # The span context manager is exception-safe, so even the
-        # failing span closed before the sink was finalized.
-        assert [e["ph"] for e in payload["traceEvents"]] == ["B", "E"]
+        # failing span closed before the sink was finalized.  Lane
+        # metadata ("M") precedes the actual events.
+        phases = [e["ph"] for e in payload["traceEvents"] if e["ph"] != "M"]
+        assert phases == ["B", "E"]
 
     def test_trace_viewer_close_is_idempotent(self, tmp_path):
         from repro.obs import TraceViewerSink
@@ -292,7 +307,10 @@ class TestSinks:
         sink.close()
         sink.close()
         payload = json.loads(path.read_text(encoding="utf-8"))
-        assert [e["name"] for e in payload["traceEvents"]] == ["only"]
+        names = [
+            e["name"] for e in payload["traceEvents"] if e["ph"] != "M"
+        ]
+        assert names == ["only"]
 
     def test_tee_sink_duplicates_events(self):
         first, second = RecordingSink(), RecordingSink()

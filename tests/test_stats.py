@@ -1,0 +1,170 @@
+"""Tests for ``repro stats`` and :mod:`repro.obs.stats`.
+
+Covers the three input shapes (plain ``repro.obs/v1`` snapshot files,
+single- and multi-run ``repro.obs/log/v1`` metrics logs), the merge
+semantics (counters add, histograms fold bucket-wise so multi-run
+percentiles are true percentiles), and both CLI renderings (aggregate
+table and two-file delta view).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.errors import ReproError
+from repro.obs import NULL_SINK, MetricsLog
+from repro.obs.stats import load_stats_file, merge_snapshots, render_delta
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    previous = obs.install_sink(NULL_SINK)
+    obs.reset()
+    yield
+    obs.install_sink(previous)
+    obs.reset()
+
+
+def make_snapshot(firings, span_seconds):
+    obs.reset()
+    obs.counter("chase.tgd_firings").inc(firings)
+    with obs.span("solve"):
+        pass
+    obs.get_telemetry()._spans["solve"].zero()
+    obs.get_telemetry()._spans["solve"].record(span_seconds)
+    obs.histogram("engine.cache.hit_seconds").record(span_seconds / 10.0)
+    return obs.snapshot()
+
+
+def write_snapshot(path, snapshot):
+    path.write_text(json.dumps(snapshot, sort_keys=True), encoding="utf-8")
+    return str(path)
+
+
+def write_log(path, snapshots):
+    with MetricsLog(str(path)) as log:
+        for index, snapshot in enumerate(snapshots):
+            log.log_run(
+                command="solve",
+                status=0,
+                seconds=0.1,
+                snapshot=snapshot,
+                run_id=f"run{index}",
+            )
+    return str(path)
+
+
+class TestLoading:
+    def test_plain_snapshot_file(self, tmp_path):
+        snapshot = make_snapshot(4, 0.02)
+        path = write_snapshot(tmp_path / "snap.json", snapshot)
+        loaded, runs = load_stats_file(path)
+        assert runs == 1
+        assert loaded["counters"]["chase.tgd_firings"] == 4
+
+    def test_metrics_log_merges_all_runs(self, tmp_path):
+        first = make_snapshot(3, 0.010)
+        second = make_snapshot(5, 0.030)
+        path = write_log(tmp_path / "metrics.jsonl", [first, second])
+        merged, runs = load_stats_file(path)
+        assert runs == 2
+        assert merged["counters"]["chase.tgd_firings"] == 8
+        solve = merged["spans"]["solve"]
+        assert solve["count"] == 2
+        assert solve["seconds"] == pytest.approx(0.040)
+        assert solve["min"] == pytest.approx(0.010)
+        assert solve["max"] == pytest.approx(0.030)
+        hist = merged["histograms"]["engine.cache.hit_seconds"]
+        assert hist["count"] == 2
+
+    def test_single_line_log_parses(self, tmp_path):
+        path = write_log(tmp_path / "one.jsonl", [make_snapshot(1, 0.001)])
+        merged, runs = load_stats_file(path)
+        assert runs == 1
+        assert merged["counters"]["chase.tgd_firings"] == 1
+
+    def test_empty_file_is_an_error(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_stats_file(str(path))
+
+    def test_garbage_line_is_an_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n", encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_stats_file(str(path))
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_stats_file(str(tmp_path / "nope.json"))
+
+
+class TestMergeSnapshots:
+    def test_counters_add_and_gauges_last_write(self):
+        into = {"counters": {"a": 1}, "gauges": {"g": 10}}
+        merge_snapshots(into, {"counters": {"a": 2, "b": 5}, "gauges": {"g": 7}})
+        assert into["counters"] == {"a": 3, "b": 5}
+        assert into["gauges"]["g"] == 7
+
+    def test_span_percentiles_recomputed_over_union(self):
+        first = make_snapshot(1, 0.001)
+        second = make_snapshot(1, 1.0)
+        merged = merge_snapshots(dict(first), second)
+        solve = merged["spans"]["solve"]
+        # The union's p99 lives near the slow run, not the fast one.
+        assert solve["p99"] > 0.01
+        assert solve["min"] == pytest.approx(0.001)
+
+
+class TestCli:
+    def test_stats_renders_aggregate_table(self, tmp_path, capsys):
+        path = write_log(
+            tmp_path / "metrics.jsonl",
+            [make_snapshot(3, 0.01), make_snapshot(4, 0.02)],
+        )
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "chase.tgd_firings" in out
+        assert "p95" in out
+        assert "solve" in out
+
+    def test_stats_delta_view(self, tmp_path, capsys):
+        baseline = write_snapshot(
+            tmp_path / "base.json", make_snapshot(2, 0.010)
+        )
+        fresh = write_snapshot(tmp_path / "fresh.json", make_snapshot(6, 0.020))
+        assert main(["stats", baseline, fresh]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out
+        assert "chase.tgd_firings" in out
+        assert "3.00x" in out  # 6 vs 2 firings
+        assert "ratio" in out
+
+    def test_stats_json_output(self, tmp_path, capsys):
+        path = write_snapshot(tmp_path / "snap.json", make_snapshot(1, 0.001))
+        assert main(["stats", "--json", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["chase.tgd_firings"] == 1
+
+    def test_stats_rejects_three_files(self, tmp_path, capsys):
+        path = write_snapshot(tmp_path / "s.json", make_snapshot(1, 0.001))
+        assert main(["stats", path, path, path]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "gone.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRenderDelta:
+    def test_new_counter_shows_as_new(self):
+        out = render_delta(
+            {"counters": {}},
+            {"counters": {"solve.cache_hits": 2}},
+        )
+        assert "new" in out
+        assert "solve.cache_hits" in out
