@@ -1,0 +1,118 @@
+"""Partitioned chase + block-parallel core: the >= 2x scaling gate.
+
+The workload is the `test_core_scales_on_chase_results` shape scaled
+sideways: a union of value-disjoint copies of the scaled Example 2.1
+source.  Serial `solve` chases the union and runs the blockwise core
+against the whole canonical solution; the partitioned path shards the
+chase per component and minimizes each component against itself only.
+Because the blockwise pass is superlinear in the number of components
+(every block is matched against the full instance), partition locality
+is an algorithmic win before process parallelism is even engaged.
+
+The gate: at 4 workers the sharded solve must beat serial solve by
+``REPRO_SHARD_SPEEDUP_FLOOR`` (default 2.0x) on the median of several
+rounds, with byte-identical fp/v1 fingerprints.  CI compares the
+committed ``BENCH_shard.json`` against a fresh run via
+``repro bench-compare``.
+"""
+
+import os
+import statistics
+import time
+
+from repro.engine import Executor, fingerprint_instance
+from repro.exchange import solve
+from repro.generators import disjoint_scaled_sources
+from repro.generators.settings_library import example_2_1_setting
+
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_SHARD_SPEEDUP_FLOOR", "2.0"))
+
+COPIES = 6
+PAIRS = 24
+SEED = 5
+
+
+def _workload():
+    return example_2_1_setting(), disjoint_scaled_sources(
+        COPIES, PAIRS, seed=SEED
+    )
+
+
+def _fp(instance):
+    return fingerprint_instance(instance, canonical=True)
+
+
+def _median_of(fn, rounds=3):
+    times = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return statistics.median(times)
+
+
+class TestShardScaling:
+    def test_sharded_solve_speedup_at_four_workers(self, report):
+        setting, source = _workload()
+        serial_result = solve(setting, source, shard="off")
+        with Executor(workers=4) as executor:
+            sharded_result = solve(setting, source, executor=executor)
+
+            # Byte-identical outcomes are a precondition for the gate.
+            assert _fp(serial_result.canonical_solution) == _fp(
+                sharded_result.canonical_solution
+            )
+            assert _fp(serial_result.core_solution) == _fp(
+                sharded_result.core_solution
+            )
+
+            serial_median = _median_of(
+                lambda: solve(setting, source, shard="off")
+            )
+            sharded_median = _median_of(
+                lambda: solve(setting, source, executor=executor)
+            )
+
+        speedup = serial_median / max(sharded_median, 1e-9)
+        table = report.table(
+            "Sharded solve vs serial solve (6 components, 4 workers)",
+            ("path", "median seconds", "speedup"),
+        )
+        table.row("serial", f"{serial_median:.4f}", "1.00x")
+        table.row("sharded@4", f"{sharded_median:.4f}", f"{speedup:.2f}x")
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"sharded solve {speedup:.2f}x < required {SPEEDUP_FLOOR:.2f}x"
+        )
+
+    def test_partition_locality_scales_with_components(self, report):
+        # The serial/partitioned gap must widen as components are added:
+        # that is the superlinearity the partition removes.
+        setting = example_2_1_setting()
+        table = report.table(
+            "Partition locality vs component count (in-process)",
+            ("components", "serial s", "partitioned s", "speedup"),
+        )
+        ratios = []
+        for copies in (2, 4, 6):
+            source = disjoint_scaled_sources(copies, PAIRS, seed=SEED)
+            serial = _median_of(
+                lambda: solve(setting, source, shard="off"), rounds=1
+            )
+            partitioned = _median_of(
+                lambda: solve(setting, source, shard="on"), rounds=1
+            )
+            ratio = serial / max(partitioned, 1e-9)
+            ratios.append(ratio)
+            table.row(
+                copies, f"{serial:.4f}", f"{partitioned:.4f}", f"{ratio:.2f}x"
+            )
+        assert ratios[-1] > ratios[0]
+
+    def test_bench_serial_solve(self, benchmark):
+        setting, source = _workload()
+        benchmark(solve, setting, source, shard="off")
+
+    def test_bench_sharded_solve(self, benchmark):
+        setting, source = _workload()
+        with Executor(workers=4) as executor:
+            benchmark(lambda: solve(setting, source, executor=executor))

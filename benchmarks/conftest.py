@@ -23,6 +23,7 @@ BENCH_TABLE1_FILE = "BENCH_table1.json"
 BENCH_ENGINE_FILE = "BENCH_engine.json"
 BENCH_MATCHING_FILE = "BENCH_matching.json"
 BENCH_OBS_FILE = "BENCH_obs.json"
+BENCH_SHARD_FILE = "BENCH_shard.json"
 
 
 def fit_polynomial_degree(sizes, times):
@@ -120,6 +121,7 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_ENGINE_FILE: [],
         BENCH_MATCHING_FILE: [],
         BENCH_OBS_FILE: [],
+        BENCH_SHARD_FILE: [],
     }
     for bench in benches:
         fullname = getattr(bench, "fullname", "") or ""
@@ -131,6 +133,8 @@ def pytest_sessionfinish(session, exitstatus):
             target = BENCH_MATCHING_FILE
         elif "bench_obs" in fullname:
             target = BENCH_OBS_FILE
+        elif "bench_shard" in fullname:
+            target = BENCH_SHARD_FILE
         else:
             target = BENCH_CHASE_FILE
         groups[target].append(bench)

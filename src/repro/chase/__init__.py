@@ -21,6 +21,7 @@ from .explain import (
 )
 from .oblivious import fire_all_source_justifications, oblivious_chase
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
+from .sharding import sharded_chase
 from .satisfaction import (
     satisfies_all,
     satisfies_egd,
@@ -55,6 +56,7 @@ __all__ = [
     "satisfies_all",
     "satisfies_egd",
     "satisfies_tgd",
+    "sharded_chase",
     "standard_chase",
     "violated_tgd_match",
     "violations",

@@ -1,0 +1,226 @@
+"""Partitioned (sharded) chase.
+
+The source instance of a data exchange problem frequently decomposes
+into value-connected components -- records about unrelated entities.  A
+dependency whose premise is *component-local* (connected atom graph, see
+:func:`repro.dependencies.graph.shard_locality`) and whose conclusion is
+anchored to the premise match can only ever fire within one component,
+so components can be chased independently: in parallel on the
+:class:`repro.engine.Executor` pool, and -- just as importantly -- on
+instances a fraction of the size, which avoids the superlinear cost of
+trigger matching against the whole union.
+
+The protocol is:
+
+1. statically split the dependencies into shard-local and cross-shard
+   sets (:func:`shard_locality`);
+2. decompose the source into components (:meth:`Instance.components`)
+   and group them into one shard task per pool slot;
+3. chase every shard with the *local* dependencies only;
+4. merge the shard results with nulls renamed apart (deterministic
+   contiguous ranges in shard order, so the merge is fingerprint-stable);
+5. when cross-shard dependencies exist, run one *residual* sequential
+   chase of the merged instance with the full dependency set -- local
+   dependencies are included because a cross-shard firing can enable new
+   local triggers.
+
+A shard FAILURE (an egd equated two distinct constants) is definitive --
+failing chases witness that no solution exists regardless of order -- and
+is returned immediately.  Unshardable inputs (analysis guard failed, a
+single component, a non-ground instance, no local dependencies at all,
+or an active provenance ledger -- worker-side steps could not be
+recorded faithfully) fall back to one sequential chase, counted in
+``chase.shard_fallbacks``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.instance import Instance
+from ..core.terms import Null
+from ..dependencies.base import Dependency
+from ..dependencies.graph import ShardAnalysis, shard_locality
+from ..obs import counter, gauge, histogram, span
+from ..obs.provenance import active_ledger
+from .result import ChaseOutcome, ChaseStatus
+from .standard import DEFAULT_MAX_STEPS
+
+
+def _engine(name: str):
+    from .seminaive import seminaive_chase
+    from .standard import standard_chase
+
+    engines = {"standard": standard_chase, "seminaive": seminaive_chase}
+    try:
+        return engines[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chase engine {name!r}; pick one of {sorted(engines)}"
+        ) from None
+
+
+def _chase_shard(
+    shards: Tuple[Instance, ...],
+    dependencies: Tuple[Dependency, ...],
+    engine: str,
+    max_steps: int,
+) -> List[ChaseOutcome]:
+    """Worker task: chase each component of one shard group in order.
+
+    Module-level so the payload pickles; components are chased one at a
+    time (never as a union) to keep trigger matching component-sized.
+    Traces are not requested -- the merged outcome cannot interleave
+    per-shard logs meaningfully.
+    """
+    chase = _engine(engine)
+    counter("chase.shard_chases").inc(len(shards))
+    return [
+        chase(shard, list(dependencies), max_steps=max_steps)
+        for shard in shards
+    ]
+
+
+def _group_shards(
+    components: List[Instance], groups: int
+) -> List[Tuple[Instance, ...]]:
+    """Split components into at most ``groups`` contiguous, even groups."""
+    groups = max(1, min(groups, len(components)))
+    out: List[Tuple[Instance, ...]] = []
+    base, extra = divmod(len(components), groups)
+    start = 0
+    for index in range(groups):
+        width = base + (1 if index < extra else 0)
+        out.append(tuple(components[start : start + width]))
+        start += width
+    return out
+
+
+def _merge_outcomes(
+    outcomes: List[ChaseOutcome],
+) -> Tuple[Instance, int, int]:
+    """Union the shard results with nulls renamed apart.
+
+    Shard chases invent nulls independently (each starts from a ground
+    component, so each numbers its nulls from zero); the merge renames
+    shard ``k``'s nulls to the next contiguous range, in shard order, so
+    the merged instance is a deterministic function of the ordered shard
+    results.
+    """
+    merged = Instance()
+    next_ident = 0
+    steps = 0
+    nulls_created = 0
+    for outcome in outcomes:
+        steps += outcome.steps
+        nulls_created += outcome.nulls_created
+        nulls = sorted(outcome.instance.nulls())
+        renaming: Dict[Null, Null] = {
+            old: Null(next_ident + rank) for rank, old in enumerate(nulls)
+        }
+        next_ident += len(nulls)
+        shard_instance = (
+            outcome.instance.rename_values(renaming)
+            if renaming
+            else outcome.instance
+        )
+        merged.add_all(shard_instance)
+    return merged, steps, nulls_created
+
+
+def sharded_chase(
+    instance: Instance,
+    dependencies: Sequence[Dependency],
+    *,
+    executor=None,
+    engine: str = "standard",
+    max_steps: int = DEFAULT_MAX_STEPS,
+    analysis: Optional[ShardAnalysis] = None,
+) -> ChaseOutcome:
+    """Chase ``instance`` by independent shards, with a residual pass.
+
+    Semantically equivalent to ``engine(instance, dependencies)``: on
+    SUCCESS the result satisfies every dependency and is a canonical
+    universal solution of the same problem (same fp/v1 canonical
+    fingerprint as the sequential run).  ``max_steps`` bounds each shard
+    chase and the residual pass individually.
+
+    ``executor`` is a :class:`repro.engine.Executor` (or None); shard
+    groups are dispatched through it, one group per pool slot, with
+    worker telemetry merged back by the executor harness.
+    """
+    deps = list(dependencies)
+    if analysis is None:
+        analysis = shard_locality(deps)
+    components = instance.components() if instance.is_ground else []
+    if (
+        not analysis.shardable
+        or not analysis.local
+        or len(components) <= 1
+        # An active provenance ledger wins over parallelism: shard
+        # chases run in other processes (or rename nulls at merge
+        # time), so their steps could not be recorded faithfully.
+        or active_ledger() is not None
+    ):
+        counter("chase.shard_fallbacks").inc()
+        gauge("chase.shards").set(1)
+        return _engine(engine)(instance, deps, max_steps=max_steps)
+
+    with span("chase.sharded"):
+        gauge("chase.shards").set(len(components))
+        workers = getattr(executor, "workers", 1) or 1
+        # One group per pool slot when parallel; per-component groups
+        # serially (grouping buys nothing without IPC to amortize).
+        group_count = workers * 2 if workers > 1 else len(components)
+        groups = _group_shards(components, group_count)
+        local = tuple(analysis.local)
+        tasks = [(group, local, engine, max_steps) for group in groups]
+        if executor is not None:
+            grouped = executor.map_tasks(
+                _chase_shard, tasks, label="chase.shard"
+            )
+        else:
+            grouped = [_chase_shard(*task) for task in tasks]
+        outcomes = [outcome for group in grouped for outcome in group]
+
+        for outcome in outcomes:
+            if outcome.status is ChaseStatus.FAILURE:
+                return outcome
+        merged, steps, nulls_created = _merge_outcomes(outcomes)
+        for outcome in outcomes:
+            if outcome.status is ChaseStatus.DIVERGED:
+                return ChaseOutcome(
+                    ChaseStatus.DIVERGED,
+                    merged,
+                    steps,
+                    reason=outcome.reason,
+                    nulls_created=nulls_created,
+                )
+
+        if not analysis.cross:
+            # Every dependency is component-local and every shard reached
+            # a fixpoint, so the union is already a fixpoint: any premise
+            # match of a local dependency lies within one component.
+            return ChaseOutcome(
+                ChaseStatus.SUCCESS, merged, steps, nulls_created=nulls_created
+            )
+
+        residual_started = time.perf_counter()
+        with span("chase.residual"):
+            residual = _engine(engine)(
+                merged,
+                deps,
+                max_steps=max_steps,
+                null_factory=merged.null_factory(),
+            )
+        histogram("chase.residual_pass_seconds").record(
+            time.perf_counter() - residual_started
+        )
+        return ChaseOutcome(
+            residual.status,
+            residual.instance,
+            steps + residual.steps,
+            reason=residual.reason,
+            nulls_created=nulls_created + residual.nulls_created,
+        )

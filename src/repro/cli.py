@@ -30,9 +30,12 @@ Settings are described in a small text format, one declaration per line
 Instances use the library DSL: ``M('a','b'), N('a','b'), N('a','c')``.
 
 ``solve``, ``certain`` and ``report`` accept ``--cache DIR`` (reuse
-chase/core/answer results across invocations, content-addressed) and --
-except ``solve``, which has no per-item work to split -- ``--workers N``
-(process-pool evaluation; ``REPRO_WORKERS`` sets the default).
+chase/core/answer results across invocations, content-addressed) and
+``--workers N`` (process-pool evaluation; ``REPRO_WORKERS`` sets the
+default).  For ``solve`` the per-item work is the partitioned pipeline:
+``--shard`` chases independent source components as shards and
+``--workers``/``--core-algorithm partitioned`` minimize value
+components of the canonical solution on the pool.
 """
 
 from __future__ import annotations
@@ -231,15 +234,21 @@ def command_solve(args: argparse.Namespace) -> int:
 
     setting = load_setting(args.setting)
     source = load_instance(args.source, setting)
-    cache, _ = _engine_from_args(args)
-    result = solve(
-        setting,
-        source,
-        max_steps=args.max_steps,
-        engine=args.engine,
-        core_algorithm=args.core_algorithm,
-        cache=cache,
-    )
+    cache, executor = _engine_from_args(args)
+    try:
+        result = solve(
+            setting,
+            source,
+            max_steps=args.max_steps,
+            engine=args.engine,
+            core_algorithm=args.core_algorithm,
+            cache=cache,
+            executor=executor,
+            shard=args.shard,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     if not result.cwa_solution_exists:
         print("no solution exists (the chase failed on an egd)")
         return 1
@@ -474,9 +483,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("standard", "seminaive"), default="standard"
     )
     solve.add_argument(
-        "--core-algorithm", choices=("blockwise", "folding"), default="blockwise"
+        "--core-algorithm",
+        choices=("blockwise", "folding", "partitioned"),
+        default="blockwise",
     )
-    _add_engine_flags(solve, workers=False)
+    solve.add_argument(
+        "--shard",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "partitioned chase over the source's value components: "
+            "'auto' shards when --workers > 1, 'on' always (when the "
+            "static analysis allows), 'off' never"
+        ),
+    )
+    _add_engine_flags(solve)
     _add_obs_flags(solve)
     solve.set_defaults(run=command_solve)
 

@@ -116,6 +116,10 @@ class Executor:
     def __init__(self, workers: Optional[int] = None):
         self.workers = default_workers() if workers is None else max(1, workers)
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Pickle-probe verdicts per callable: repeated submissions of
+        #: the same worker function skip the probe (which re-pickles the
+        #: first argument tuple -- expensive for instance-sized args).
+        self._probe_cache: dict = {}
         #: Propagated into every worker-side trace event this executor
         #: replays, so a multi-process trace is attributable to one run.
         self.trace_id = uuid.uuid4().hex[:16]
@@ -170,11 +174,40 @@ class Executor:
         return [fn(*args) for args in tasks]
 
     def _picklable(self, fn: Callable, first: tuple) -> bool:
+        """Probe ``(fn, first)`` for picklability, memoized per callable.
+
+        A positive verdict is cached on ``fn``: later batches skip the
+        probe round-trip entirely (``engine.probe_cache_hits``), and an
+        argument that turns out unpicklable anyway is still caught by
+        the batch-level serial fallback in :meth:`_map_parallel`.  A
+        negative verdict is cached only when ``fn`` *itself* does not
+        pickle (a lambda or closure stays unpicklable forever); failures
+        caused by the arguments are re-probed next time.
+        """
+        try:
+            cached = self._probe_cache.get(fn)
+        except TypeError:  # unhashable callable: probe every time
+            cached = None
+            fn_key = None
+        else:
+            fn_key = fn
+        if cached is not None:
+            counter("engine.probe_cache_hits").inc()
+            if not cached:
+                counter("engine.pickle_fallbacks").inc()
+            return cached
         try:
             pickle.dumps((fn, first))
         except Exception:
             counter("engine.pickle_fallbacks").inc()
+            if fn_key is not None:
+                try:
+                    pickle.dumps(fn)
+                except Exception:
+                    self._probe_cache[fn_key] = False
             return False
+        if fn_key is not None:
+            self._probe_cache[fn_key] = True
         return True
 
     def _map_parallel(

@@ -14,9 +14,11 @@ from ..core.errors import ChaseDivergence, ReproError
 from ..core.instance import Instance
 from ..chase.result import ChaseStatus
 from ..chase.seminaive import seminaive_chase
+from ..chase.sharding import sharded_chase
 from ..chase.standard import DEFAULT_MAX_STEPS, standard_chase
 from ..homomorphism.blocks import blockwise_core
 from ..homomorphism.core_computation import core
+from ..homomorphism.parallel import partitioned_core
 from ..io import instance_from_payload, instance_to_payload
 from ..obs import counter, gauge, span
 from .setting import DataExchangeSetting
@@ -29,7 +31,11 @@ CHASE_ENGINES = {
 CORE_ALGORITHMS = {
     "blockwise": blockwise_core,
     "folding": core,
+    "partitioned": partitioned_core,
 }
+
+#: ``shard`` argument values accepted by :func:`solve`.
+SHARD_MODES = ("auto", "on", "off")
 
 
 class ExchangeResult:
@@ -86,6 +92,8 @@ def solve(
     engine: str = "standard",
     core_algorithm: str = "blockwise",
     cache=None,
+    executor=None,
+    shard: str = "auto",
 ) -> ExchangeResult:
     """Run the data exchange for ``source`` under ``setting``.
 
@@ -107,6 +115,15 @@ def solve(
     source (up to isomorphism), ``max_steps``, ``engine``, and
     ``core_algorithm``; chase *failures* are cached (they are definitive
     verdicts), divergence is not (a larger budget might succeed).
+
+    ``executor``: a :class:`repro.engine.Executor` (or None) used by the
+    partitioned paths.  ``shard`` controls the partitioned chase:
+    ``"on"`` shards whenever the static analysis allows, ``"off"``
+    never, and ``"auto"`` (the default) shards exactly when a parallel
+    executor is supplied.  A sharded run upgrades the default
+    ``"blockwise"`` core to ``"partitioned"`` -- both paths produce
+    results with the same fp/v1 canonical fingerprints as a serial run,
+    so cache entries are shared across modes.
     """
     setting.validate_source(source)
     try:
@@ -116,13 +133,25 @@ def solve(
             f"unknown chase engine {engine!r}; pick one of "
             f"{sorted(CHASE_ENGINES)}"
         ) from None
-    try:
-        core_of = CORE_ALGORITHMS[core_algorithm]
-    except KeyError:
+    if core_algorithm not in CORE_ALGORITHMS:
         raise ReproError(
             f"unknown core algorithm {core_algorithm!r}; pick one of "
             f"{sorted(CORE_ALGORITHMS)}"
-        ) from None
+        )
+    if shard not in SHARD_MODES:
+        raise ReproError(
+            f"unknown shard mode {shard!r}; pick one of {SHARD_MODES}"
+        )
+    use_shard = shard == "on" or (
+        shard == "auto" and executor is not None and executor.parallel
+    )
+    if core_algorithm == "partitioned" or (
+        use_shard and core_algorithm == "blockwise"
+    ):
+        def core_of(target):
+            return partitioned_core(target, executor)
+    else:
+        core_of = CORE_ALGORITHMS[core_algorithm]
     key = None
     if cache is not None:
         from ..engine.fingerprint import solve_key  # lazy: engine is optional
@@ -151,9 +180,18 @@ def solve(
                 counter("solve.cache_hits").inc()
                 return result
     with span("solve"):
-        outcome = chase(
-            source, list(setting.all_dependencies), max_steps=max_steps
-        )
+        if use_shard:
+            outcome = sharded_chase(
+                source,
+                list(setting.all_dependencies),
+                executor=executor,
+                engine=engine,
+                max_steps=max_steps,
+            )
+        else:
+            outcome = chase(
+                source, list(setting.all_dependencies), max_steps=max_steps
+            )
         if outcome.status is ChaseStatus.DIVERGED:
             raise ChaseDivergence(outcome.steps, outcome.reason)
         if outcome.status is ChaseStatus.FAILURE:

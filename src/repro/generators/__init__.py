@@ -4,6 +4,7 @@ from .random_instances import (
     chain_setting,
     chain_source,
     cycle_instance,
+    disjoint_scaled_sources,
     employee_source,
     example_2_1_scaled_source,
     random_graph_instance,
@@ -28,6 +29,7 @@ __all__ = [
     "chain_setting",
     "chain_source",
     "cycle_instance",
+    "disjoint_scaled_sources",
     "egd_only_setting",
     "employee_source",
     "example_2_1_scaled_source",

@@ -170,3 +170,27 @@ def example_2_1_scaled_source(pairs: int, seed: RandomLike = 0) -> Instance:
     for _ in range(2 * pairs):
         instance.add(Atom(n_relation, (rng.choice(pool), rng.choice(pool))))
     return instance
+
+
+def disjoint_scaled_sources(
+    copies: int, pairs: int, seed: RandomLike = 0
+) -> Instance:
+    """A disjoint union of ``copies`` scaled Example 2.1 sources.
+
+    Each copy draws its constants from its own prefixed pool
+    (``s<k>_c<i>``), so the union has exactly ``copies`` value-connected
+    components (assuming each copy is itself connected, which holds for
+    the dense M/N families at these sizes).  This is the shardable
+    workload of the partitioned chase / partitioned core benchmarks:
+    identical in shape to the Example 2.1 family, but decomposable.
+    """
+    rng = _rng(seed)
+    union = Instance()
+    for index in range(copies):
+        copy = example_2_1_scaled_source(pairs, seed=rng.randint(0, 10**9))
+        renaming = {
+            value: Const(f"s{index}_{value.name}")
+            for value in copy.active_domain()
+        }
+        union.add_all(copy.rename_values(renaming))
+    return union

@@ -94,6 +94,16 @@ def block_statistics(instance: Instance) -> Dict[str, float]:
     }
 
 
+#: Bounded memo of compiled block patterns keyed by the exact owned
+#: atom tuple and block -- the pattern is a pure function of both.  Core
+#: computation revisits unchanged blocks constantly (every verification
+#: pass, every repeated minimization of an already-minimal block), and
+#: this skips rebuilding the variable-lifted atoms each round.  Hits
+#: land in ``core.block_pattern_reuse``.
+_PATTERN_CACHE: "Dict[Tuple[Tuple[Atom, ...], FrozenSet[Null]], Tuple]" = {}
+_PATTERN_CACHE_LIMIT = 1024
+
+
 def _block_pattern(
     owned: List[Atom], block: FrozenSet[Null]
 ) -> "Tuple[Tuple[Atom, ...], Dict]":
@@ -102,10 +112,17 @@ def _block_pattern(
     Nulls outside the block are frozen (treated as rigid values), so the
     extension of any match by the identity is an endomorphism of the
     whole instance.  Computed once per owned set and reused for every
-    dropped-atom attempt -- the attempts then share one compiled plan.
+    dropped-atom attempt -- the attempts then share one compiled plan --
+    and memoized across invocations for unchanged blocks.
     """
     from ..core.terms import Variable
+    from ..obs import counter
 
+    key = (tuple(owned), block)
+    cached = _PATTERN_CACHE.get(key)
+    if cached is not None:
+        counter("core.block_pattern_reuse").inc()
+        return cached
     to_variable = {null: Variable(f"_b{null.ident}") for null in block}
     pattern = tuple(
         Atom(
@@ -115,6 +132,9 @@ def _block_pattern(
         for atom in owned
     )
     back = {variable: null for null, variable in to_variable.items()}
+    if len(_PATTERN_CACHE) >= _PATTERN_CACHE_LIMIT:
+        _PATTERN_CACHE.pop(next(iter(_PATTERN_CACHE)))
+    _PATTERN_CACHE[key] = (pattern, back)
     return pattern, back
 
 
@@ -127,19 +147,22 @@ def _minimize_block(
     the full instance that drops at least one of them; applies the
     induced endomorphism (identity outside the block) and repeats.
 
-    One working copy per owned set is mutated (drop the atom, search,
-    put it back) instead of copying the instance per attempt.
+    One working copy per *invocation* is mutated throughout (drop the
+    atom, search, put it back; apply folds in place) -- ``instance``
+    itself is never modified, and no per-round copies are taken.
     """
     from ..logic.matching import attributed, first_match
 
     changed = False
-    current = instance
+    working: Optional[Instance] = None
     while block:
-        owned = block_atoms(current, block)
+        base = working if working is not None else instance
+        owned = block_atoms(base, block)
         if not owned:
             break
         pattern, back = _block_pattern(owned, block)
-        working = current.copy()
+        if working is None:
+            working = instance.copy()
         folded_once = False
         for atom in owned:
             working.discard(atom)
@@ -153,19 +176,16 @@ def _minimize_block(
             mapping = {
                 back[variable]: value for variable, value in found.items()
             }
-            # ``working`` equals ``current`` again; reuse it as the
-            # replacement instead of taking another copy.
-            replacement = working
+            images = [item.rename_values(mapping) for item in owned]
             for item in owned:
-                replacement.discard(item)
-            for item in owned:
-                replacement.add(item.rename_values(mapping))
+                working.discard(item)
+            for item in images:
+                working.add(item)
             ledger = active_ledger()
             if ledger is not None:
                 ledger.record_retraction(
-                    "blockwise", set(current) - set(replacement), mapping
+                    "blockwise", set(owned) - set(images), mapping
                 )
-            current = replacement
             # Nulls folded onto other blocks leave this block's care.
             block = frozenset(
                 value
@@ -177,7 +197,7 @@ def _minimize_block(
             break
         if not folded_once:
             break
-    return current if changed else None
+    return working if changed else None
 
 
 def blockwise_core(instance: Instance) -> Instance:

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.core import Atom, Const, Instance, Null, RelationSymbol, isomorphic
 from repro.homomorphism import core
 from repro.homomorphism.blocks import (
+    _minimize_block,
     block_atoms,
     block_statistics,
     blockwise_core,
@@ -77,6 +78,34 @@ class TestBlockwiseCore:
         from repro.homomorphism import is_core
 
         assert is_core(blockwise_core(inst))
+
+
+class TestMinimizeBlock:
+    def test_input_instance_is_never_mutated(self):
+        inst = parse_instance("E('a', #1), E('a', 'b')")
+        snapshot = set(inst.sorted_atoms())
+        block = frozenset({Null(1)})
+        folded = _minimize_block(inst, block)
+        assert folded is not None
+        assert set(inst.sorted_atoms()) == snapshot
+
+    def test_returns_none_when_block_is_minimal(self):
+        inst = parse_instance("E('a', #1)")
+        assert _minimize_block(inst, frozenset({Null(1)})) is None
+
+    def test_pattern_cache_reuse_is_counted(self):
+        import repro.obs as obs
+
+        obs.reset()
+        # Distinctive constants guarantee a cache key no earlier test
+        # populated; the second pass over the unchanged block must hit.
+        inst = parse_instance("E('reuse_probe', #1), E(#1, 'reuse_probe')")
+        block = frozenset({Null(1)})
+        _minimize_block(inst, block)
+        before = obs.counter("core.block_pattern_reuse").value
+        _minimize_block(inst, block)
+        assert obs.counter("core.block_pattern_reuse").value > before
+        obs.reset()
 
 
 def small_instances():

@@ -102,6 +102,31 @@ class TestMapTasks:
         assert flattened == ["a!", "b!", "c!", "d!", "e!"]
 
 
+class TestProbeCache:
+    def test_repeat_submissions_hit_probe_cache(self):
+        with Executor(workers=2) as executor:
+            executor.map_worlds(_square, [1, 2])
+            executor.map_worlds(_square, [3, 4])
+            executor.map_worlds(_square, [5, 6])
+        found = obs.snapshot()["counters"]
+        assert found["engine.probe_cache_hits"] == 2
+        assert found["engine.tasks_dispatched"] == 6
+
+    def test_unpicklable_verdict_is_cached(self):
+        bad = lambda x: x + 1  # noqa: E731 -- lambdas cannot be pickled
+        with Executor(workers=2) as executor:
+            first = executor.map_tasks(bad, [(1,), (2,)])
+            second = executor.map_tasks(bad, [(3,), (4,)])
+        assert first == [2, 3]
+        assert second == [4, 5]
+        found = obs.snapshot()["counters"]
+        # Both batches fell back to serial, but only the first paid the
+        # probe; the second was answered from the cache.
+        assert found["engine.pickle_fallbacks"] == 2
+        assert found["engine.probe_cache_hits"] == 1
+        assert found.get("engine.tasks_dispatched", 0) == 0
+
+
 class TestSemanticsParity:
     def test_all_four_semantics_identical(self):
         setting = example_2_1_setting()

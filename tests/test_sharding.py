@@ -1,0 +1,266 @@
+"""Tests for the partitioned (sharded) chase and its static analysis."""
+
+import pytest
+
+import repro.obs as obs
+from repro.chase import ChaseStatus, sharded_chase, standard_chase
+from repro.core import Atom, Const, Instance, Null, RelationSymbol
+from repro.dependencies import Egd, Tgd
+from repro.dependencies.graph import (
+    conclusion_is_anchored,
+    premise_is_component_local,
+    shard_locality,
+)
+from repro.engine import Executor, fingerprint_instance
+from repro.generators import (
+    disjoint_scaled_sources,
+    example_2_1_setting,
+)
+
+E = RelationSymbol("E", 2)
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _counter(name):
+    return obs.counter(name).value
+
+
+# ----------------------------------------------------------------------
+# Static analysis
+# ----------------------------------------------------------------------
+
+
+class TestShardLocality:
+    def test_example_2_1_is_fully_local(self):
+        analysis = shard_locality(
+            list(example_2_1_setting().all_dependencies)
+        )
+        assert analysis.shardable
+        assert not analysis.cross
+        assert len(analysis.local) == 4
+
+    def test_disconnected_premise_is_cross(self):
+        # E(x,x') and E(y,y') share no term: a match may span components.
+        egd = Egd.parse("E(x,u) & E(y,u2) -> u = u2")
+        assert not premise_is_component_local(egd)
+        analysis = shard_locality([egd])
+        assert analysis.shardable
+        assert analysis.cross == (egd,)
+
+    def test_shared_constant_connects_premise(self):
+        egd = Egd.parse("E(x,'a') & E(y,'a') -> x = y")
+        assert premise_is_component_local(egd)
+
+    def test_fo_premise_is_cross(self):
+        tgd = Tgd.parse("M(x,y) | N(x,y) -> E(x,y)")
+        assert tgd.premise_formula is not None
+        assert not premise_is_component_local(tgd)
+        assert shard_locality([tgd]).cross == (tgd,)
+
+    def test_unanchored_conclusion_is_cross(self):
+        tgd = Tgd.parse("M(x,y) -> exists z, w . E(z,w)")
+        assert not conclusion_is_anchored(tgd)
+        assert shard_locality([tgd]).cross == (tgd,)
+
+    def test_conclusion_anchored_through_existential_chain(self):
+        tgd = Tgd.parse("M(x,y) -> exists z, w . E(x,z) & E(z,w)")
+        assert conclusion_is_anchored(tgd)
+        assert shard_locality([tgd]).local == (tgd,)
+
+    def test_constant_in_conclusion_disables_sharding(self):
+        tgd = Tgd.parse("M(x,y) -> E(x,'tag')")
+        analysis = shard_locality([tgd])
+        assert not analysis.shardable
+        assert "constant" in analysis.reason
+
+
+# ----------------------------------------------------------------------
+# Instance components
+# ----------------------------------------------------------------------
+
+
+class TestComponents:
+    def test_empty_instance(self):
+        assert Instance().components() == []
+
+    def test_single_component(self):
+        inst = Instance(
+            [Atom(E, (Const("a"), Const("b"))), Atom(E, (Const("b"), Const("c")))]
+        )
+        assert len(inst.components()) == 1
+
+    def test_disjoint_union_splits(self):
+        source = disjoint_scaled_sources(4, 6, seed=1)
+        parts = source.components()
+        assert len(parts) == 4
+        merged = Instance()
+        for part in parts:
+            merged.add_all(part)
+        assert merged == source
+
+    def test_nulls_connect(self):
+        inst = Instance(
+            [Atom(E, (Const("a"), Null(0))), Atom(E, (Null(0), Const("b")))]
+        )
+        assert len(inst.components()) == 1
+
+    def test_deterministic_order(self):
+        source = disjoint_scaled_sources(3, 5, seed=2)
+        first = [part.sorted_atoms() for part in source.components()]
+        second = [part.sorted_atoms() for part in source.components()]
+        assert first == second
+
+
+# ----------------------------------------------------------------------
+# Sharded chase
+# ----------------------------------------------------------------------
+
+
+def _fp(instance):
+    return fingerprint_instance(instance, canonical=True)
+
+
+class TestShardedChase:
+    def test_parity_with_standard_chase(self):
+        setting = example_2_1_setting()
+        deps = list(setting.all_dependencies)
+        source = disjoint_scaled_sources(4, 8, seed=7)
+        serial = standard_chase(source, deps)
+        sharded = sharded_chase(source, deps)
+        assert sharded.status is ChaseStatus.SUCCESS
+        assert _fp(sharded.instance) == _fp(serial.instance)
+        assert obs.gauge("chase.shards").value == 4
+
+    def test_parity_with_executor(self):
+        setting = example_2_1_setting()
+        deps = list(setting.all_dependencies)
+        source = disjoint_scaled_sources(3, 6, seed=9)
+        serial = standard_chase(source, deps)
+        with Executor(workers=2) as executor:
+            sharded = sharded_chase(source, deps, executor=executor)
+        assert _fp(sharded.instance) == _fp(serial.instance)
+
+    def test_single_component_falls_back(self):
+        setting = example_2_1_setting()
+        deps = list(setting.all_dependencies)
+        source = disjoint_scaled_sources(1, 6, seed=3)
+        before = _counter("chase.shard_fallbacks")
+        outcome = sharded_chase(source, deps)
+        assert outcome.successful
+        assert _counter("chase.shard_fallbacks") == before + 1
+
+    def test_empty_instance_falls_back(self):
+        deps = list(example_2_1_setting().all_dependencies)
+        outcome = sharded_chase(Instance(), deps)
+        assert outcome.successful
+        assert len(outcome.instance) == 0
+        assert _counter("chase.shard_fallbacks") == 1
+
+    def test_all_cross_dependencies_fall_back_to_sequential(self):
+        # The only dependency is cross-shard: nothing can run shard-local,
+        # so the whole chase must run sequentially.
+        tgd = Tgd.parse("E(x,y) | E(y,x) -> F(x,y)")
+        source = Instance(
+            [
+                Atom(E, (Const("a"), Const("b"))),
+                Atom(E, (Const("c"), Const("d"))),
+            ]
+        )
+        before = _counter("chase.shard_fallbacks")
+        outcome = sharded_chase(source, [tgd])
+        assert outcome.successful
+        serial = standard_chase(source, [tgd])
+        assert _fp(outcome.instance) == _fp(serial.instance)
+        assert _counter("chase.shard_fallbacks") == before + 1
+
+    def test_cross_dependency_residual_pass(self):
+        # Local st-style tgd plus a cross-shard egd relating the two
+        # components: the residual pass must perform the merges.
+        tgd = Tgd.parse("E(x,y) -> exists z . F(x,z)")
+        egd = Egd.parse("F(x,u) & F(y,v) -> u = v")
+        analysis = shard_locality([tgd, egd])
+        assert analysis.local == (tgd,)
+        assert analysis.cross == (egd,)
+        source = Instance(
+            [
+                Atom(E, (Const("a"), Const("b"))),
+                Atom(E, (Const("c"), Const("d"))),
+            ]
+        )
+        sharded = sharded_chase(source, [tgd, egd])
+        serial = standard_chase(source, [tgd, egd])
+        assert sharded.successful
+        assert _fp(sharded.instance) == _fp(serial.instance)
+        # Both F-witnesses were equated by the residual egd pass.
+        result_nulls = sharded.instance.nulls()
+        assert len(result_nulls) == 1
+
+    def test_shard_failure_is_definitive(self):
+        # An egd equating two distinct constants fails inside one shard.
+        tgd = Tgd.parse("E(x,y) -> F(x,y)")
+        egd = Egd.parse("F(x,u) & F(x,v) -> u = v")
+        source = Instance(
+            [
+                Atom(E, (Const("a"), Const("b"))),
+                Atom(E, (Const("a"), Const("c"))),
+                Atom(E, (Const("d"), Const("e"))),
+            ]
+        )
+        outcome = sharded_chase(source, [tgd, egd])
+        assert outcome.status is ChaseStatus.FAILURE
+
+    def test_non_ground_instance_falls_back(self):
+        deps = [Tgd.parse("E(x,y) -> exists z . F(y,z)")]
+        inst = Instance(
+            [
+                Atom(E, (Const("a"), Null(0))),
+                Atom(E, (Const("b"), Const("c"))),
+            ]
+        )
+        before = _counter("chase.shard_fallbacks")
+        outcome = sharded_chase(inst, deps)
+        assert outcome.successful
+        assert _counter("chase.shard_fallbacks") == before + 1
+
+    def test_merge_renames_nulls_apart(self):
+        tgd = Tgd.parse("E(x,y) -> exists z . F(x,z)")
+        source = Instance(
+            [
+                Atom(E, (Const("a"), Const("b"))),
+                Atom(E, (Const("c"), Const("d"))),
+            ]
+        )
+        outcome = sharded_chase(source, [tgd])
+        assert outcome.successful
+        # Each shard invented one null; the merge must keep them distinct.
+        assert len(outcome.instance.nulls()) == 2
+
+    def test_active_provenance_ledger_forces_sequential(self):
+        # Worker-side chase steps cannot be recorded, so an installed
+        # ledger must route through the sequential fallback and keep
+        # every derivation in the ledger.
+        from repro.obs.provenance import recording
+
+        setting = example_2_1_setting()
+        deps = list(setting.all_dependencies)
+        source = disjoint_scaled_sources(3, 4, seed=6)
+        before = _counter("chase.shard_fallbacks")
+        with recording() as ledger:
+            outcome = sharded_chase(source, deps)
+        assert outcome.successful
+        assert _counter("chase.shard_fallbacks") == before + 1
+        assert len(ledger) > 0
+
+    def test_seminaive_engine(self):
+        setting = example_2_1_setting()
+        deps = list(setting.all_dependencies)
+        source = disjoint_scaled_sources(3, 6, seed=4)
+        serial = standard_chase(source, deps)
+        sharded = sharded_chase(source, deps, engine="seminaive")
+        assert _fp(sharded.instance) == _fp(serial.instance)
