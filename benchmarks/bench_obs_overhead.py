@@ -41,6 +41,13 @@ MAX_OVERHEAD_RATIO = 3.0
 def quiet_telemetry():
     previous = obs.install_sink(obs.NULL_SINK)
     obs.reset()
+    # The overhead bound below is only meaningful for the default
+    # configuration: attributed execution (explain-plan's profiled
+    # matcher) must never be on in a bench leg.
+    assert not obs.attribution.enabled(), (
+        "attributed execution is on; the obs overhead gate measures "
+        "the default path (attribution must stay opt-in)"
+    )
     yield
     obs.install_sink(previous)
     obs.reset()

@@ -36,7 +36,7 @@ from ..core.terms import NullFactory, Value
 from ..dependencies.base import Dependency, split_dependencies
 from ..dependencies.egd import Egd
 from ..dependencies.tgd import Tgd
-from ..obs import counter, gauge, span, span_stats
+from ..obs import attribution, counter, gauge, span, span_stats
 from ..obs.provenance import active_ledger
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
 
@@ -210,6 +210,8 @@ def alpha_chase(
         # -- same overhead-budget reasoning as the standard engine.
         egd_stats = span_stats("egds")
         tgd_stats = span_stats("tgds")
+        attributing = attribution.enabled()
+        round_index = 0
         while True:
             # Saturate tgds under α-applicability.  Each pass materializes
             # the current matches and fires every one that is still
@@ -221,6 +223,10 @@ def alpha_chase(
                 while progressed:
                     progressed = False
                     for tgd in tgds:
+                        dep_started = (
+                            time.perf_counter() if attributing else 0.0
+                        )
+                        dep_firings = 0
                         pending = [
                             (premise_match, justification_key(tgd, premise_match))
                             for premise_match in tgd.premise_matches(current)
@@ -242,6 +248,7 @@ def alpha_chase(
                             steps += 1
                             progressed = True
                             firings.inc()
+                            dep_firings += 1
                             if ledger is not None:
                                 ledger.record_firing(
                                     "alpha",
@@ -264,15 +271,45 @@ def alpha_chase(
                                         added=new_atoms,
                                     )
                                 )
+                        if attributing and (pending or dep_firings):
+                            # α-witnesses need not be fresh, so nulls are
+                            # attributed at the engine level only (the
+                            # set-difference count in ``finish``).
+                            attribution.record_dependency(
+                                attribution.dep_label(tgd),
+                                round_index=round_index,
+                                triggers=len(pending),
+                                firings=dep_firings,
+                                seconds=time.perf_counter() - dep_started,
+                            )
             finally:
                 tgd_stats.record(time.perf_counter() - pass_started)
 
             peak_atoms = max(peak_atoms, len(current))
+            if attribution.heartbeat() is not None:
+                attribution.beat(
+                    engine="alpha",
+                    round_index=round_index,
+                    steps=steps,
+                    instance_size=len(current),
+                    nulls_created=len(
+                        set(current.nulls()) - initial_nulls
+                    ),
+                )
+            round_index += 1
             # tgd fixpoint reached: no tgd is α-applicable.  Check egds.
             egd_started = time.perf_counter()
             violating: Optional[Tuple[Egd, Value, Value]] = None
             for egd in egds:
+                dep_started = time.perf_counter() if attributing else 0.0
                 violation = egd.first_violation(current)
+                if attributing:
+                    attribution.record_dependency(
+                        attribution.dep_label(egd),
+                        round_index=round_index - 1,
+                        triggers=1 if violation is not None else 0,
+                        seconds=time.perf_counter() - dep_started,
+                    )
                 if violation is not None:
                     violating = (egd, violation[0], violation[1])
                     break
@@ -304,6 +341,12 @@ def alpha_chase(
             current.replace_value(old, new)
             steps += 1
             merges.inc()
+            if attributing:
+                attribution.record_dependency(
+                    attribution.dep_label(egd),
+                    round_index=round_index - 1,
+                    merges=1,
+                )
             if ledger is not None:
                 ledger.record_merge("alpha", egd, old, new)
             egd_stats.record(time.perf_counter() - egd_started)

@@ -24,7 +24,9 @@ from ..core.instance import Instance
 from ..core.terms import NullFactory, Value
 from ..dependencies.base import Dependency
 from ..dependencies.tgd import Tgd
-from ..obs import counter, gauge, span
+import time
+
+from ..obs import attribution, counter, gauge, span
 from ..obs.provenance import active_ledger
 from .alpha import (
     FreshAlpha,
@@ -87,15 +89,23 @@ def fire_all_source_justifications(
     ledger = active_ledger()  # None by default: recording is opt-in
     if ledger is not None:
         ledger.record_source(result)
+    attributing = attribution.enabled()
     with span("chase.fire_all_source_justifications"):
         for tgd in st_tgds:
+            dep_started = time.perf_counter() if attributing else 0.0
+            dep_triggers = 0
+            dep_firings = 0
+            dep_nulls = 0
             for premise_match in tgd.premise_matches(source):
+                dep_triggers += 1
                 key = justification_key(tgd, premise_match)
                 if key in table:
                     continue
                 witnesses = factory.fresh_tuple(len(tgd.existential))
                 table[key] = witnesses
                 firings.inc()
+                dep_firings += 1
+                dep_nulls += len(witnesses)
                 null_count.inc(len(witnesses))
                 added = tgd.conclusion_atoms_under(premise_match, witnesses)
                 fresh = [atom for atom in added if result.add(atom)]
@@ -103,6 +113,15 @@ def fire_all_source_justifications(
                     ledger.record_firing(
                         "oblivious", tgd, premise_match, fresh, witnesses
                     )
+            if attributing and dep_triggers:
+                attribution.record_dependency(
+                    attribution.dep_label(tgd),
+                    round_index=0,
+                    triggers=dep_triggers,
+                    firings=dep_firings,
+                    nulls=dep_nulls,
+                    seconds=time.perf_counter() - dep_started,
+                )
     gauge("chase.peak_atoms").set(len(result))
     gauge("chase.instance_size").set(len(result))
     return result, table

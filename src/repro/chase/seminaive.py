@@ -34,7 +34,7 @@ from ..dependencies.base import Dependency, split_dependencies
 from ..dependencies.egd import Egd
 from ..dependencies.tgd import Tgd
 from ..logic.matching import match
-from ..obs import counter, gauge, span, span_stats
+from ..obs import attribution, counter, gauge, span, span_stats
 from ..obs.provenance import active_ledger
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
 
@@ -171,6 +171,8 @@ def seminaive_chase(
         # same overhead-budget reasoning as the batched engine.
         egd_stats = span_stats("egds") if egds else None
         tgd_stats = span_stats("tgds")
+        attributing = attribution.enabled()
+        round_index = 0
         while True:
             # Egd fixpoint first; rewritten atoms re-enter the delta.
             if egd_stats is not None:
@@ -183,6 +185,7 @@ def seminaive_chase(
                     max_steps,
                     log if trace else None,
                     ledger,
+                    round_index=round_index if attributing else None,
                 )
                 egd_stats.record(time.perf_counter() - pass_started)
                 merges.inc(steps - merges_before)
@@ -204,11 +207,15 @@ def seminaive_chase(
             pass_started = time.perf_counter()
             try:
                 for tgd in tgds:
-                    for premise_match in list(
+                    dep_started = time.perf_counter() if attributing else 0.0
+                    dep_firings = 0
+                    dep_nulls = 0
+                    triggers = list(
                         _delta_matches(
                             tgd, current, delta, seed_plans[id(tgd)]
                         )
-                    ):
+                    )
+                    for premise_match in triggers:
                         if steps >= max_steps:
                             return out_of_budget()
                         if tgd.conclusion_holds(current, premise_match):
@@ -221,6 +228,8 @@ def seminaive_chase(
                         new_delta.extend(fresh)
                         steps += 1
                         firings.inc()
+                        dep_firings += 1
+                        dep_nulls += len(witnesses)
                         nulls_created += len(witnesses)
                         null_count.inc(len(witnesses))
                         if ledger is not None:
@@ -241,9 +250,26 @@ def seminaive_chase(
                                     "tgd", tgd, binding=binding, added=fresh
                                 )
                             )
+                    if attributing and (triggers or dep_firings):
+                        attribution.record_dependency(
+                            attribution.dep_label(tgd),
+                            round_index=round_index,
+                            triggers=len(triggers),
+                            firings=dep_firings,
+                            nulls=dep_nulls,
+                            seconds=time.perf_counter() - dep_started,
+                        )
             finally:
                 tgd_stats.record(time.perf_counter() - pass_started)
             peak_atoms = max(peak_atoms, len(current))
+            attribution.beat(
+                engine="seminaive",
+                round_index=round_index,
+                steps=steps,
+                instance_size=len(current),
+                nulls_created=nulls_created,
+            )
+            round_index += 1
             delta = new_delta
 
 
@@ -254,23 +280,36 @@ def _egd_fixpoint(
     max_steps: int,
     log: Optional[List[ChaseStep]],
     ledger=None,
+    round_index: Optional[int] = None,
 ) -> Tuple[str, int, List[Atom]]:
     """Apply egds to fixpoint; returns (verdict, steps, rewritten atoms).
 
     Verdict is "ok", "failed" or "budget".  Rewritten atoms are those
     containing the surviving value of any merge -- a superset of the
     atoms whose shape changed, which is what delta correctness needs.
+    ``round_index`` is non-None only under attributed execution and
+    switches on per-egd timing and merge attribution.
     """
+    attributing = round_index is not None
     rewritten: List[Atom] = []
     while True:
         if steps >= max_steps:
             return "budget", steps, rewritten
         violation = None
+        dep_started = time.perf_counter() if attributing else 0.0
         for egd in egds:
             pair = egd.first_violation(instance)
             if pair is not None:
                 violation = (egd, pair)
                 break
+            if attributing:
+                now = time.perf_counter()
+                attribution.record_dependency(
+                    attribution.dep_label(egd),
+                    round_index=round_index,
+                    seconds=now - dep_started,
+                )
+                dep_started = now
         if violation is None:
             return "ok", steps, rewritten
         egd, (left, right) = violation
@@ -280,6 +319,14 @@ def _egd_fixpoint(
         old, new = direction
         instance.replace_value(old, new)
         steps += 1
+        if attributing:
+            attribution.record_dependency(
+                attribution.dep_label(egd),
+                round_index=round_index,
+                triggers=1,
+                merges=1,
+                seconds=time.perf_counter() - dep_started,
+            )
         if ledger is not None:
             ledger.record_merge("seminaive", egd, old, new)
         if log is not None:

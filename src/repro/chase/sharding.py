@@ -42,7 +42,7 @@ from ..core.instance import Instance
 from ..core.terms import Null
 from ..dependencies.base import Dependency
 from ..dependencies.graph import ShardAnalysis, shard_locality
-from ..obs import counter, gauge, histogram, span
+from ..obs import attribution, counter, gauge, histogram, span
 from ..obs.provenance import active_ledger
 from .result import ChaseOutcome, ChaseStatus
 from .standard import DEFAULT_MAX_STEPS
@@ -76,10 +76,27 @@ def _chase_shard(
     """
     chase = _engine(engine)
     counter("chase.shard_chases").inc(len(shards))
-    return [
-        chase(shard, list(dependencies), max_steps=max_steps)
-        for shard in shards
-    ]
+    if not attribution.enabled():
+        return [
+            chase(shard, list(dependencies), max_steps=max_steps)
+            for shard in shards
+        ]
+    # Attributed mode: record one cost row per component.  These rows
+    # travel back through the worker-state blob and are the per-shard
+    # cost profile the adaptive scheduler needs (size in, cost out).
+    outcomes = []
+    for shard in shards:
+        shard_started = time.perf_counter()
+        outcome = chase(shard, list(dependencies), max_steps=max_steps)
+        attribution.record_component(
+            "chase.shard",
+            size=len(shard),
+            steps=outcome.steps,
+            nulls=outcome.nulls_created,
+            seconds=time.perf_counter() - shard_started,
+        )
+        outcomes.append(outcome)
+    return outcomes
 
 
 def _group_shards(

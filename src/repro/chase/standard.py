@@ -21,7 +21,7 @@ from ..core.instance import Instance
 from ..core.terms import NullFactory
 from ..dependencies.base import Dependency, split_dependencies
 from ..dependencies.egd import Egd
-from ..obs import counter, gauge, span, span_stats
+from ..obs import attribution, counter, gauge, span, span_stats
 from ..obs.provenance import active_ledger
 from .result import ChaseOutcome, ChaseStatus, ChaseStep
 
@@ -90,6 +90,10 @@ def standard_chase(
         # to the pass itself to violate the telemetry overhead budget.
         egd_stats = span_stats("egds") if egds else None
         tgd_stats = span_stats("tgds")
+        # Per-dependency attribution is opt-in; the flag is read once
+        # per run so the default loop pays one local bool per tgd pass.
+        attributing = attribution.enabled()
+        round_index = 0
         while True:
             # Apply egds to a fixpoint (priority over tgds).
             if egd_stats is not None:
@@ -99,7 +103,11 @@ def standard_chase(
                         if steps >= max_steps:
                             return out_of_budget()
                         egd_step = _apply_one_egd(
-                            current, egds, log if trace else None, ledger
+                            current,
+                            egds,
+                            log if trace else None,
+                            ledger,
+                            round_index=round_index if attributing else None,
                         )
                         if egd_step == "failed":
                             return finish(
@@ -123,7 +131,11 @@ def standard_chase(
             pass_started = time.perf_counter()
             try:
                 for tgd in tgds:
-                    for premise_match in list(tgd.premise_matches(current)):
+                    dep_started = time.perf_counter() if attributing else 0.0
+                    dep_firings = 0
+                    dep_nulls = 0
+                    triggers = list(tgd.premise_matches(current))
+                    for premise_match in triggers:
                         if steps >= max_steps:
                             return out_of_budget()
                         if tgd.conclusion_holds(current, premise_match):
@@ -138,6 +150,8 @@ def standard_chase(
                         steps += 1
                         fired_any = True
                         firings.inc()
+                        dep_firings += 1
+                        dep_nulls += len(witnesses)
                         nulls_created += len(witnesses)
                         null_count.inc(len(witnesses))
                         if ledger is not None:
@@ -158,10 +172,27 @@ def standard_chase(
                                     "tgd", tgd, binding=binding, added=new_atoms
                                 )
                             )
+                    if attributing and (triggers or dep_firings):
+                        attribution.record_dependency(
+                            attribution.dep_label(tgd),
+                            round_index=round_index,
+                            triggers=len(triggers),
+                            firings=dep_firings,
+                            nulls=dep_nulls,
+                            seconds=time.perf_counter() - dep_started,
+                        )
             finally:
                 tgd_stats.record(time.perf_counter() - pass_started)
 
             peak_atoms = max(peak_atoms, len(current))
+            attribution.beat(
+                engine="standard",
+                round_index=round_index,
+                steps=steps,
+                instance_size=len(current),
+                nulls_created=nulls_created,
+            )
+            round_index += 1
             if not fired_any:
                 return finish(ChaseStatus.SUCCESS)
 
@@ -171,11 +202,24 @@ def _apply_one_egd(
     egds: Sequence[Egd],
     log: Optional[List[ChaseStep]],
     ledger=None,
+    round_index: Optional[int] = None,
 ) -> str:
-    """Apply the first violated egd.  Returns 'applied', 'failed' or 'none'."""
+    """Apply the first violated egd.  Returns 'applied', 'failed' or 'none'.
+
+    ``round_index`` is non-None only under attributed execution; it
+    switches on per-egd timing and trigger/merge attribution.
+    """
+    attributing = round_index is not None
     for egd in egds:
+        dep_started = time.perf_counter() if attributing else 0.0
         violation = egd.first_violation(instance)
         if violation is None:
+            if attributing:
+                attribution.record_dependency(
+                    attribution.dep_label(egd),
+                    round_index=round_index,
+                    seconds=time.perf_counter() - dep_started,
+                )
             continue
         left, right = violation
         direction = Egd.merge_direction(left, right)
@@ -183,6 +227,14 @@ def _apply_one_egd(
             return "failed"
         old, new = direction
         instance.replace_value(old, new)
+        if attributing:
+            attribution.record_dependency(
+                attribution.dep_label(egd),
+                round_index=round_index,
+                triggers=1,
+                merges=1,
+                seconds=time.perf_counter() - dep_started,
+            )
         if ledger is not None:
             ledger.record_merge("standard", egd, old, new)
         if log is not None:

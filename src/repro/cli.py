@@ -14,6 +14,12 @@ Commands
                Gaifman blocks, core size, per-null justifications.
 ``explain``    paper-style I₀, I₁, ..., Iₘ chase narration, with
                optional DAG-aware justification of one fact (--why).
+``explain-plan``  EXPLAIN ANALYZE for the chase: run a solve with
+               attributed execution on and print, per dependency, the
+               compiled match plans actually used -- join order, probe
+               choices, per-step candidate/row counts, self-time, and
+               estimated-vs-actual misestimate flags (``--json`` emits
+               the repro.obs/attribution/v1 document).
 ``bench-compare``  diff fresh benchmark medians against a committed
                BENCH_*.json baseline; exits nonzero on regression.
 
@@ -41,6 +47,7 @@ components of the canonical solution on the pool.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -172,6 +179,16 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
             "append one repro.obs/log/v1 JSONL record (status, wall "
             "seconds, full telemetry snapshot) to PATH; $REPRO_METRICS "
             "sets the default path"
+        ),
+    )
+    subparser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "emit a one-line JSON heartbeat per chase round to stderr "
+            "(round, instance size, null-creation rate, divergence "
+            "flag); $REPRO_PROGRESS selects another target, "
+            "$REPRO_PROGRESS_INTERVAL rate-limits in seconds"
         ),
     )
 
@@ -405,6 +422,245 @@ def command_explain(args: argparse.Namespace) -> int:
     return 0 if outcome.successful else 1
 
 
+def _dependency_plan_roles(dependency):
+    """The ``(role, plan-cache key)`` list a dependency evaluates with.
+
+    These mirror the exact ``match``/``exists_match`` call sites: a tgd
+    matches its premise with no pre-bound keys and checks its conclusion
+    with the frontier pre-bound; an egd matches its premise only.  FO
+    premises (``premise_atoms is None``) have no compiled plan.
+    """
+    roles = []
+    if dependency.is_tgd:
+        if dependency.premise_atoms is not None:
+            roles.append(
+                ("premise", tuple(dependency.premise_atoms), (), frozenset())
+            )
+        roles.append(
+            (
+                "conclusion-check",
+                tuple(dependency.conclusion_atoms),
+                (),
+                frozenset(dependency.frontier),
+            )
+        )
+    else:
+        roles.append(
+            ("premise", tuple(dependency.premise_atoms), (), frozenset())
+        )
+    return roles
+
+
+def _plan_steps_payload(meta, counts) -> list:
+    """Per-step rows: static metadata + runtime counters + estimates."""
+    attribution = obs.attribution
+    steps = []
+    for index, (step, row) in enumerate(zip(meta, counts)):
+        estimate = attribution.step_estimate(step, row[1])
+        misestimate = attribution.step_misestimate(step, row)
+        steps.append(
+            {
+                "index": index,
+                "relation": step.get("relation"),
+                "kind": "probe" if step.get("ground") else "scan",
+                "checks": step.get("checks", 0),
+                "probes": row[0],
+                "candidates": row[1],
+                "rows": row[2],
+                "seconds": row[3],
+                "estimated_rows": round(estimate, 3),
+                "misestimate": round(misestimate, 2)
+                if misestimate is not None
+                else None,
+            }
+        )
+    return steps
+
+
+def _explain_plan_document(
+    setting: DataExchangeSetting, *, engine: str
+) -> dict:
+    """The repro.obs/attribution/v1 EXPLAIN ANALYZE document.
+
+    Joins the merged attribution tables (plan stats keyed by content
+    digest, per-dependency chase attribution, component cost rows)
+    against the setting's dependencies by recompiling each dependency's
+    plan keys -- ``plan_for`` is content-addressed, so the recompiled
+    identity names the same record the attributed run filled in.
+    """
+    from .logic import plans
+
+    attribution = obs.attribution
+    payload = attribution.export() or {}
+    plan_table = payload.get("plans", {})
+    dep_table = payload.get("dependencies", {})
+    matched = set()
+    dependencies = []
+    for dependency in setting.all_dependencies:
+        name = attribution.dep_label(dependency)
+        row = dep_table.get(name, {})
+        plans_out = []
+        for role, patterns, inequalities, keys in _dependency_plan_roles(
+            dependency
+        ):
+            plan = plans.plan_for(patterns, inequalities, keys)
+            matched.add(plan.identity)
+            record = plan_table.get(plan.identity)
+            meta = record["steps"] if record else plan._step_meta()
+            counts = (
+                record["counts"]
+                if record
+                else [[0, 0, 0, 0.0] for _ in meta]
+            )
+            plans_out.append(
+                {
+                    "role": role,
+                    "identity": plan.identity,
+                    "label": plan.label,
+                    "uses": record["uses"] if record else 0,
+                    "steps": _plan_steps_payload(meta, counts),
+                }
+            )
+        dependencies.append(
+            {
+                "name": name,
+                "dependency": repr(dependency),
+                "kind": "tgd" if dependency.is_tgd else "egd",
+                "triggers": row.get("triggers", 0),
+                "firings": row.get("firings", 0),
+                "merges": row.get("merges", 0),
+                "nulls": row.get("nulls", 0),
+                "seconds": row.get("seconds", 0.0),
+                "rounds": row.get("rounds", {}),
+                "plans": plans_out,
+            }
+        )
+    other_plans = [
+        {
+            "identity": identity,
+            "label": record["label"],
+            "uses": record["uses"],
+            "steps": _plan_steps_payload(record["steps"], record["counts"]),
+        }
+        for identity, record in sorted(plan_table.items())
+        if identity not in matched
+    ]
+    return {
+        "schema": obs.attribution.ATTRIBUTION_SCHEMA,
+        "engine": engine,
+        "dependencies": dependencies,
+        "other_plans": other_plans,
+        "components": payload.get("components", {}),
+    }
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.3f}ms"
+
+
+def _render_plan_lines(plan: dict, lines: list, indent: str) -> None:
+    lines.append(
+        f"{indent}plan {plan['identity']}"
+        + (f" [{plan['role']}]" if "role" in plan else "")
+        + f": {plan['label']}  (uses={plan['uses']})"
+    )
+    for step in plan["steps"]:
+        flag = (
+            f"  MISESTIMATE {step['misestimate']}x"
+            if step.get("misestimate") is not None
+            else ""
+        )
+        lines.append(
+            f"{indent}  -> step {step['index']} {step['kind']:<5} "
+            f"{step['relation']:<12} probes={step['probes']} "
+            f"cand={step['candidates']} rows={step['rows']} "
+            f"est={step['estimated_rows']} time={_ms(step['seconds'])}"
+            f"{flag}"
+        )
+
+
+def _render_explain_plan(document: dict) -> str:
+    lines = [
+        f"EXPLAIN ANALYZE  (engine={document['engine']}, "
+        f"{len(document['dependencies'])} dependencies, "
+        f"chase steps={document.get('chase_steps', '?')})"
+    ]
+    for dep in document["dependencies"]:
+        lines.append("")
+        lines.append(f"{dep['name']} ({dep['kind']}): {dep['dependency']}")
+        rounds = ",".join(
+            sorted(dep["rounds"], key=lambda k: (k == "overflow", int(k) if k != "overflow" else 0))
+        )
+        lines.append(
+            f"  triggers={dep['triggers']} firings={dep['firings']} "
+            f"merges={dep['merges']} nulls={dep['nulls']} "
+            f"time={_ms(dep['seconds'])}"
+            + (f" rounds={rounds}" if rounds else "")
+        )
+        for plan in dep["plans"]:
+            _render_plan_lines(plan, lines, "  ")
+    if document["other_plans"]:
+        lines.append("")
+        lines.append("other plans (seed/rest splits, queries, core search):")
+        for plan in document["other_plans"]:
+            _render_plan_lines(plan, lines, "  ")
+    components = document.get("components", {})
+    if components:
+        lines.append("")
+        lines.append("per-component cost profile:")
+        for kind, rows in sorted(components.items()):
+            total = sum(row["seconds"] for row in rows)
+            lines.append(
+                f"  {kind}: {len(rows)} component(s), total {_ms(total)}"
+            )
+            for row in rows[:8]:
+                lines.append(
+                    f"    size={row['size']} steps={row['steps']} "
+                    f"nulls={row['nulls']} time={_ms(row['seconds'])}"
+                )
+            if len(rows) > 8:
+                lines.append(f"    ... {len(rows) - 8} more")
+    return "\n".join(lines)
+
+
+def command_explain_plan(args: argparse.Namespace) -> int:
+    from .exchange.solve import solve
+
+    attribution = obs.attribution
+    setting = load_setting(args.setting)
+    source = load_instance(args.source, setting)
+    cache, executor = _engine_from_args(args)
+    attribution.reset()
+    # Fork-platform pool workers receive the flag in the task payload;
+    # the environment variable covers spawn platforms, whose workers
+    # re-import repro with defaults before any payload arrives.
+    os.environ["REPRO_ATTRIBUTION"] = "1"
+    try:
+        with attribution.attributing():
+            result = solve(
+                setting,
+                source,
+                max_steps=args.max_steps,
+                engine=args.engine,
+                core_algorithm=args.core_algorithm,
+                cache=cache,
+                executor=executor,
+                shard=args.shard,
+            )
+    finally:
+        os.environ.pop("REPRO_ATTRIBUTION", None)
+        if executor is not None:
+            executor.close()
+    document = _explain_plan_document(setting, engine=args.engine)
+    document["solved"] = result.cwa_solution_exists
+    document["chase_steps"] = result.chase_steps
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(_render_explain_plan(document))
+    return 0 if result.cwa_solution_exists else 1
+
+
 def command_bench_compare(args: argparse.Namespace) -> int:
     from .benchgate import run_gate
 
@@ -431,7 +687,11 @@ def command_stats(args: argparse.Namespace) -> int:
         return 0
     if len(loaded) == 1:
         snapshot, runs = loaded[0]
-        print(render_stats(snapshot, runs=runs, title=args.files[0]))
+        print(
+            render_stats(
+                snapshot, runs=runs, title=args.files[0], top=args.top
+            )
+        )
     else:
         (baseline, _), (fresh, _) = loaded
         print(render_delta(baseline, fresh))
@@ -570,6 +830,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(explain_cmd)
     explain_cmd.set_defaults(run=command_explain)
 
+    explain_plan = commands.add_parser(
+        "explain-plan",
+        help=(
+            "EXPLAIN ANALYZE: attributed solve with per-step match-plan "
+            "stats, per-dependency chase attribution, and component "
+            "cost profiles"
+        ),
+    )
+    explain_plan.add_argument("setting")
+    explain_plan.add_argument("source")
+    explain_plan.add_argument("--max-steps", type=int, default=200_000)
+    explain_plan.add_argument(
+        "--engine", choices=("standard", "seminaive"), default="standard"
+    )
+    explain_plan.add_argument(
+        "--core-algorithm",
+        choices=("blockwise", "folding", "partitioned"),
+        default="blockwise",
+    )
+    explain_plan.add_argument(
+        "--shard",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="as for solve; sharded runs add per-component cost rows",
+    )
+    explain_plan.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro.obs/attribution/v1 document instead of text",
+    )
+    _add_engine_flags(explain_plan)
+    _add_obs_flags(explain_plan)
+    explain_plan.set_defaults(run=command_explain_plan)
+
     bench = commands.add_parser(
         "bench-compare",
         help="gate fresh benchmark medians against a committed baseline",
@@ -605,6 +899,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the merged snapshot(s) as JSON instead of a table",
     )
+    stats_cmd.add_argument(
+        "--top",
+        metavar="N",
+        type=int,
+        default=None,
+        help=(
+            "sort each aggregate-table section by self-time (counters "
+            "and gauges by value) and keep only the top N rows"
+        ),
+    )
     stats_cmd.set_defaults(run=command_stats)
 
     return parser
@@ -618,10 +922,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     previous_sink = None
     recorder = None
     metrics_path = None
+    progress_installed = False
     if has_obs_flags:
         # Per-invocation metrics: zero the registry so --profile and the
         # trace flags describe exactly this command.
         obs.reset()
+        if args.progress and obs.attribution.heartbeat() is None:
+            # REPRO_PROGRESS may already have installed one at import
+            # (possibly pointing at a file); --progress adds stderr.
+            obs.attribution.enable_heartbeat("stderr")
+            progress_installed = True
         metrics_path = args.metrics_log or os.environ.get("REPRO_METRICS")
         if args.trace_json:
             sinks.append(obs.JsonLinesSink(args.trace_json))
@@ -647,6 +957,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Every telemetry artifact is finalized here, on success *and*
         # on error paths: a failing chase still leaves valid, parseable
         # trace files and a complete provenance ledger behind.
+        if progress_installed:
+            obs.attribution.disable_heartbeat()
         if has_obs_flags and args.profile:
             print("=== profile (per-phase wall times) ===", file=sys.stderr)
             print(obs.render_profile(), file=sys.stderr)

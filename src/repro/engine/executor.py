@@ -43,7 +43,14 @@ import uuid
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from ..obs import NULL_SINK, RecordingSink, counter, get_telemetry, histogram
+from ..obs import (
+    NULL_SINK,
+    RecordingSink,
+    attribution,
+    counter,
+    get_telemetry,
+    histogram,
+)
 
 #: Environment variable consulted for the default pool width.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -74,10 +81,17 @@ def _run_task(payload: tuple) -> Tuple[float, object, dict]:
     Resetting in place keeps module-level prefetched Counter handles
     valid (the documented hot-path idiom).
     """
-    fn, args, label, base_path, want_events, submitted_wall = payload
+    fn, args, label, base_path, want_events, submitted_wall, attributed = (
+        payload
+    )
     telemetry = get_telemetry()
     telemetry.reset()
     telemetry.seed(base_path)
+    # The parent's attributed-execution flag travels in the payload (not
+    # via fork inheritance: the pool may predate the enable, and spawn
+    # platforms re-import with a fresh default).  The reset above already
+    # cleared any inherited attribution tables, so nothing double-counts.
+    attribution.enable(attributed)
     queue_wait = max(0.0, time.time() - submitted_wall)
     # Never emit into an inherited parent sink (a forked JsonLinesSink
     # would interleave writes with the parent's): record locally when
@@ -220,8 +234,17 @@ class Executor:
         base_path = telemetry.current_path
         want_events = telemetry.emitting
         submitted_wall = time.time()
+        attributed = attribution.enabled()
         payloads = [
-            (fn, args, label, base_path, want_events, submitted_wall)
+            (
+                fn,
+                args,
+                label,
+                base_path,
+                want_events,
+                submitted_wall,
+                attributed,
+            )
             for args in tasks
         ]
         results: List[object] = []

@@ -28,10 +28,11 @@ partition is a speedup, never an approximation.
 
 from __future__ import annotations
 
+import time
 from typing import List, Tuple
 
 from ..core.instance import Instance
-from ..obs import counter, span
+from ..obs import attribution, counter, span
 from ..obs.provenance import active_ledger
 from .blocks import _minimize_block, blockwise_core, null_blocks
 from .core_computation import core as global_core
@@ -76,7 +77,22 @@ def _minimize_component(component: Instance) -> Instance:
 
 def _minimize_components(components: Tuple[Instance, ...]) -> List[Instance]:
     """Worker task: minimize each component of one group, in order."""
-    return [_minimize_component(component) for component in components]
+    if not attribution.enabled():
+        return [_minimize_component(component) for component in components]
+    # Attributed mode: one cost row per component (size in, retained
+    # size and seconds out), merged back by the executor harness.
+    minimized = []
+    for component in components:
+        component_started = time.perf_counter()
+        result = _minimize_component(component)
+        attribution.record_component(
+            "core.partition",
+            size=len(component),
+            steps=len(component) - len(result),
+            seconds=time.perf_counter() - component_started,
+        )
+        minimized.append(result)
+    return minimized
 
 
 def _group_components(
@@ -145,7 +161,7 @@ def partitioned_core(instance: Instance, executor=None) -> Instance:
                 for component in group
             ]
         else:
-            minimized = [_minimize_component(c) for c in foldable]
+            minimized = _minimize_components(tuple(foldable))
 
         result = Instance()
         for component in ground:

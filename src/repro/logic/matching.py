@@ -23,6 +23,14 @@ the *most constrained* remaining atom -- the one with the fewest
 candidate instance atoms given the current partial substitution --
 using the instance's (relation, position, value) index.  The hypothesis
 parity suite asserts the two enumerate identical substitution sets.
+
+When **attributed execution** is on (:func:`repro.obs.attribution
+.enabled`, the ``repro explain-plan`` path), the compiled route switches
+to a profiled executor that charges per-step probe/candidate/row counts
+and self-time to the plan's record in the attribution table -- see
+:meth:`repro.logic.plans.CompiledPattern.matches` for the dispatch.  The
+interpreted matcher has no profiled variant; it participates only
+through the ``attributed`` scope counters below.
 """
 
 from __future__ import annotations

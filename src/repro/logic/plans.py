@@ -50,7 +50,9 @@ long-running multi-scenario processes cannot grow it without limit.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
+from time import perf_counter
 from typing import (
     Dict,
     FrozenSet,
@@ -64,6 +66,7 @@ from typing import (
 from ..core.atoms import Atom, Substitution
 from ..core.instance import Instance
 from ..core.terms import Term, Value, Variable
+from ..obs import attribution as _attribution
 from ..obs import counter, register_gauge_provider
 
 Inequality = Tuple[Term, Term]
@@ -199,6 +202,8 @@ class CompiledPattern:
         "out_pairs",
         "start_checks",
         "steps",
+        "_identity",
+        "_attr_meta",
     )
 
     def __init__(
@@ -315,6 +320,64 @@ class CompiledPattern:
         )
         self.n_slots = len(slot_of)
         self.out_pairs: Tuple[Tuple[Variable, int], ...] = tuple(out_pairs)
+        self._identity: Optional[str] = None
+        self._attr_meta: Optional[List[dict]] = None
+
+    # ------------------------------------------------------------------
+    # Attribution identity and static step metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def identity(self) -> str:
+        """A stable content digest of the plan-cache key (16 hex chars).
+
+        Two processes compiling the same (patterns, inequalities,
+        pre-bound keys) triple produce the same identity, so worker and
+        parent plan stats merge by name.
+        """
+        found = self._identity
+        if found is None:
+            payload = "|".join(
+                (
+                    repr(self.patterns),
+                    repr(self.inequalities),
+                    repr(sorted(v.name for v in self.initial_keys)),
+                )
+            )
+            found = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+            self._identity = found
+        return found
+
+    @property
+    def label(self) -> str:
+        """Human-readable plan label: the conjunction plus pre-bound vars."""
+        text = " & ".join(str(pattern) for pattern in self.patterns)
+        keys = sorted(v.name for v in self.initial_keys)
+        return f"{text} [prebound {', '.join(keys)}]" if keys else text
+
+    def _step_meta(self) -> List[dict]:
+        """Static per-step metadata for the attribution plan record."""
+        found = self._attr_meta
+        if found is None:
+            found = []
+            for rel, cc, pc, sc, bi, iq, ap, pr in self.steps:
+                found.append(
+                    {
+                        "relation": rel,
+                        "checks": len(cc) + len(pc) + len(sc) + len(iq),
+                        "binds": len(bi),
+                        "ground": ap is not None,
+                        "probes": len(pr),
+                    }
+                )
+            self._attr_meta = found
+        return found
+
+    def _attr_record(self) -> dict:
+        """This plan's stats record (re-fetched so resets are honored)."""
+        return _attribution.plan_record(
+            self.identity, self.label, self._step_meta()
+        )
 
     @staticmethod
     def _join_order(
@@ -378,7 +441,13 @@ class CompiledPattern:
             right = slots[bval] if bkind else bval
             if left is right:
                 return
-        if counts is None:
+        if _attribution.enabled():
+            record = self._attr_record()
+            record["uses"] += 1
+            runner = self._run_profiled(
+                instance, slots, 0, record["counts"], counts
+            )
+        elif counts is None:
             runner = self._run(instance, slots, 0)
         else:
             runner = self._run_counted(instance, slots, 0, counts)
@@ -533,6 +602,112 @@ class CompiledPattern:
                 counts[1] += 1
             for _, slot in binds:
                 slots[slot] = None
+
+    def _run_profiled(
+        self,
+        instance: Instance,
+        slots: List,
+        depth: int,
+        stats: List[List],
+        counts: Optional[List[int]] = None,
+    ) -> Iterator[bool]:
+        """Attributed executor: per-step probes/candidates/emitted/time.
+
+        ``stats[depth]`` is the step's mutable ``[probes, candidates,
+        emitted, seconds]`` row in the attribution plan record.  Self-
+        time excludes child steps *and* consumer time: the clock pauses
+        across the recursive ``yield from`` and resumes when control
+        returns to this frame.  ``counts`` keeps the ``attributed``
+        scope contract of :meth:`_run_counted` when both are requested.
+        """
+        steps = self.steps
+        if depth == len(steps):
+            yield True
+            return
+        row = stats[depth]
+        rel, const_checks, prior_checks, self_checks, binds, ineqs, argprog, probes = steps[depth]
+
+        started = perf_counter()
+        if argprog is not None:
+            row[0] += 1
+            row[1] += 1
+            if counts is not None:
+                counts[0] += 1
+            args = tuple(
+                slots[entry] if type(entry) is int else entry
+                for entry in argprog
+            )
+            if instance.has_tuple(rel, args):
+                row[2] += 1
+                row[3] += perf_counter() - started
+                yield from self._run_profiled(
+                    instance, slots, depth + 1, stats, counts
+                )
+            else:
+                if counts is not None:
+                    counts[1] += 1
+                row[3] += perf_counter() - started
+            return
+
+        bucket = instance.probe_relation(rel)
+        best = len(bucket)
+        for position, kind, value in probes:
+            row[0] += 1
+            probe = instance.probe_position(
+                rel, position, slots[value] if kind else value
+            )
+            count = len(probe)
+            if count < best:
+                if not count:
+                    row[3] += perf_counter() - started
+                    return
+                best = count
+                bucket = probe
+
+        for fact in bucket:
+            row[1] += 1
+            if counts is not None:
+                counts[0] += 1
+            fact_args = fact.args
+            ok = True
+            for position, value in const_checks:
+                if fact_args[position] is not value:
+                    ok = False
+                    break
+            if ok:
+                for position, slot in prior_checks:
+                    if fact_args[position] is not slots[slot]:
+                        ok = False
+                        break
+            if ok:
+                for position, earlier in self_checks:
+                    if fact_args[position] is not fact_args[earlier]:
+                        ok = False
+                        break
+            if not ok:
+                if counts is not None:
+                    counts[1] += 1
+                continue
+            for position, slot in binds:
+                slots[slot] = fact_args[position]
+            for akind, aval, bkind, bval in ineqs:
+                left = slots[aval] if akind else aval
+                right = slots[bval] if bkind else bval
+                if left is right:
+                    ok = False
+                    break
+            if ok:
+                row[2] += 1
+                row[3] += perf_counter() - started
+                yield from self._run_profiled(
+                    instance, slots, depth + 1, stats, counts
+                )
+                started = perf_counter()
+            if counts is not None and binds:
+                counts[1] += 1
+            for _, slot in binds:
+                slots[slot] = None
+        row[3] += perf_counter() - started
 
     def explain(self) -> str:
         """A human-readable rendering of the plan (docs and debugging)."""

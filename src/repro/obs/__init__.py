@@ -29,6 +29,7 @@ import logging
 import os
 from typing import Iterator, List, Optional
 
+from . import attribution
 from .metrics import Histogram, MetricsLog
 from .provenance import (
     Justification,
@@ -55,9 +56,11 @@ from .telemetry import (
     SpanStats,
     Telemetry,
     register_gauge_provider,
+    register_state_section,
 )
 
 __all__ = [
+    "attribution",
     "Counter",
     "EventSink",
     "Gauge",
@@ -85,6 +88,7 @@ __all__ = [
     "histogram",
     "install_sink",
     "register_gauge_provider",
+    "register_state_section",
     "recording",
     "render_profile",
     "reset",

@@ -141,8 +141,38 @@ def _latency_rows(entries: Dict[str, dict]) -> List[Tuple[str, dict]]:
     return sorted(entries.items())
 
 
-def render_stats(snapshot: dict, *, runs: int = 1, title: str = "") -> str:
-    """The aggregate table: spans, histograms, counters, gauges."""
+def _seconds_of(entry: dict) -> float:
+    return entry.get("seconds", entry.get("sum", 0.0))
+
+
+def _truncate(
+    rows: List[Tuple[str, object]], top: Optional[int], key
+) -> Tuple[List[Tuple[str, object]], int]:
+    """``--top N``: re-sort by cost (descending) and keep the N head.
+
+    Returns ``(kept rows, number dropped)``; ``top=None`` keeps the
+    alphabetical order untouched.
+    """
+    if top is None:
+        return rows, 0
+    ranked = sorted(rows, key=lambda item: (-key(item[1]), item[0]))
+    return ranked[: max(0, top)], max(0, len(ranked) - max(0, top))
+
+
+def render_stats(
+    snapshot: dict,
+    *,
+    runs: int = 1,
+    title: str = "",
+    top: Optional[int] = None,
+) -> str:
+    """The aggregate table: spans, histograms, counters, gauges.
+
+    ``top`` switches each section from alphabetical order to a
+    self-time leaderboard (counters and gauges rank by value) truncated
+    to the ``top`` most expensive rows, with a per-section footer for
+    what was dropped.
+    """
     lines: List[str] = []
     header = title or "telemetry stats"
     lines.append(f"=== {header} ({runs} run(s)) ===")
@@ -150,14 +180,17 @@ def render_stats(snapshot: dict, *, runs: int = 1, title: str = "") -> str:
         entries = snapshot.get(key, {})
         if not entries:
             continue
-        width = max(max(len(name) for name in entries), len(section))
+        rows, dropped = _truncate(_latency_rows(entries), top, _seconds_of)
+        if not rows:
+            continue
+        width = max(max(len(name) for name, _ in rows), len(section))
         lines.append("")
         lines.append(
             f"{section.ljust(width)}  {'count':>8}  {'total':>10}  "
             f"{'min':>10}  {'p50':>10}  {'p95':>10}  {'p99':>10}  {'max':>10}"
         )
-        for name, entry in _latency_rows(entries):
-            total = entry.get("seconds", entry.get("sum", 0.0))
+        for name, entry in rows:
+            total = _seconds_of(entry)
             lines.append(
                 f"{name.ljust(width)}  {entry.get('count', 0):>8}  "
                 f"{total:>10.4f}  {entry.get('min', 0.0):>10.6f}  "
@@ -166,20 +199,34 @@ def render_stats(snapshot: dict, *, runs: int = 1, title: str = "") -> str:
                 f"{entry.get('p99', 0.0):>10.6f}  "
                 f"{entry.get('max', 0.0):>10.6f}"
             )
+        if dropped:
+            lines.append(f"... {dropped} more {section} (raise --top)")
     counters = snapshot.get("counters", {})
     if counters:
-        width = max(max(len(name) for name in counters), len("counter"))
-        lines.append("")
-        lines.append(f"{'counter'.ljust(width)}  {'total':>12}")
-        for name, value in sorted(counters.items()):
-            lines.append(f"{name.ljust(width)}  {value:>12}")
+        rows, dropped = _truncate(
+            sorted(counters.items()), top, lambda value: value
+        )
+        if rows:
+            width = max(max(len(name) for name, _ in rows), len("counter"))
+            lines.append("")
+            lines.append(f"{'counter'.ljust(width)}  {'total':>12}")
+            for name, value in rows:
+                lines.append(f"{name.ljust(width)}  {value:>12}")
+            if dropped:
+                lines.append(f"... {dropped} more counters (raise --top)")
     gauges = snapshot.get("gauges", {})
     if gauges:
-        width = max(max(len(name) for name in gauges), len("gauge"))
-        lines.append("")
-        lines.append(f"{'gauge'.ljust(width)}  {'value':>12}")
-        for name, value in sorted(gauges.items()):
-            lines.append(f"{name.ljust(width)}  {value:>12}")
+        rows, dropped = _truncate(
+            sorted(gauges.items()), top, lambda value: value
+        )
+        if rows:
+            width = max(max(len(name) for name, _ in rows), len("gauge"))
+            lines.append("")
+            lines.append(f"{'gauge'.ljust(width)}  {'value':>12}")
+            for name, value in rows:
+                lines.append(f"{name.ljust(width)}  {value:>12}")
+            if dropped:
+                lines.append(f"... {dropped} more gauges (raise --top)")
     return "\n".join(lines)
 
 

@@ -50,6 +50,27 @@ def register_gauge_provider(provider: Callable[["Telemetry"], None]) -> None:
     _GAUGE_PROVIDERS.append(provider)
 
 
+#: Named auxiliary state sections carried by snapshots and worker-state
+#: blobs.  Each section supplies ``export()`` (a picklable JSON-able
+#: payload, or a falsy value to omit the section), ``merge(payload)``
+#: (fold a worker's payload into this process -- must be associative),
+#: and ``reset()``.  This lets modules like ``repro.obs.attribution``
+#: travel through ``export_state``/``merge_state`` without the executor
+#: harness knowing about them.
+_STATE_SECTIONS: Dict[str, dict] = {}
+
+
+def register_state_section(
+    name: str,
+    *,
+    export: Callable[[], object],
+    merge: Callable[[object], None],
+    reset: Callable[[], None],
+) -> None:
+    """Attach a named section to snapshots, state blobs, and resets."""
+    _STATE_SECTIONS[name] = {"export": export, "merge": merge, "reset": reset}
+
+
 def _peak_rss_gauge(telemetry: "Telemetry") -> None:
     try:
         import resource
@@ -294,7 +315,7 @@ class Telemetry:
                 provider(self)
             except Exception:
                 pass
-        return {
+        state = {
             "schema": SCHEMA,
             "counters": {
                 name: item.value for name, item in sorted(self._counters.items())
@@ -311,6 +332,16 @@ class Telemetry:
                 for name, item in sorted(self._histograms.items())
             },
         }
+        # Auxiliary sections are additive: absent when empty, so v1
+        # consumers that iterate the four base sections are unaffected.
+        for name, section in sorted(_STATE_SECTIONS.items()):
+            try:
+                payload = section["export"]()
+            except Exception:
+                continue
+            if payload:
+                state[name] = payload
+        return state
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
@@ -337,6 +368,16 @@ class Telemetry:
             item.zero()
         for item in self._histograms.values():
             item.zero()
+        # Resetting the *default* registry also clears the registered
+        # auxiliary sections (they are process-wide, like the registry
+        # itself); worker harnesses rely on this so inherited parent
+        # attribution is never double-counted.
+        if self is DEFAULT:
+            for section in _STATE_SECTIONS.values():
+                try:
+                    section["reset"]()
+                except Exception:
+                    pass
         self._stack.clear()
         self._epoch = time.perf_counter()
         self._epoch_wall = time.time()
@@ -367,7 +408,7 @@ class Telemetry:
         run -- worker-derived gauges like peak RSS describe the worker
         process and would clobber the parent's.
         """
-        return {
+        state = {
             "schema": STATE_SCHEMA,
             "epoch_wall": self._epoch_wall,
             "counters": {
@@ -398,6 +439,18 @@ class Telemetry:
                 if item.count
             },
         }
+        # Same empty filter for auxiliary sections: ship only what this
+        # process actually recorded (sections are process-wide, so they
+        # travel with the default registry only).
+        if self is DEFAULT:
+            for name, section in _STATE_SECTIONS.items():
+                try:
+                    payload = section["export"]()
+                except Exception:
+                    continue
+                if payload:
+                    state[name] = payload
+        return state
 
     def merge_state(self, state: dict) -> None:
         """Fold an :meth:`export_state` blob into this registry by name.
@@ -417,6 +470,14 @@ class Telemetry:
             found.merge_dict(hist_state)
         for name, hist_state in state.get("histograms", {}).items():
             self.histogram(name).merge_dict(hist_state)
+        if self is DEFAULT:
+            for name, section in _STATE_SECTIONS.items():
+                payload = state.get(name)
+                if payload:
+                    try:
+                        section["merge"](payload)
+                    except Exception:
+                        pass
 
     def replay_events(
         self,

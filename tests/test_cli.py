@@ -347,3 +347,204 @@ class TestSinkLifecycle:
         assert code == 1
         ledger = ProvenanceLedger.loads(path.read_text(encoding="utf-8"))
         assert {step.kind for step in ledger.steps} >= {"source", "tgd"}
+
+
+SHARDED_SOURCE_TEXT = (
+    "M('a','b'), N('a','b'), N('a','c'),"
+    "M('p','q'), N('p','q'), N('p','r'),"
+    "M('u','v'), N('u','v'), N('u','w')"
+)
+
+
+@pytest.fixture
+def sharded_source_file(tmp_path):
+    path = tmp_path / "sharded.source"
+    path.write_text(SHARDED_SOURCE_TEXT, encoding="utf-8")
+    return str(path)
+
+
+class TestExplainPlan:
+    def test_text_report_covers_every_dependency(
+        self, setting_file, source_file, capsys
+    ):
+        code = main(["explain-plan", setting_file, source_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EXPLAIN ANALYZE" in out
+        for name in ("st1", "st2", "t1", "t2"):
+            assert f"\n{name} " in out
+        assert "triggers=" in out and "est=" in out
+        assert "-> step 0" in out
+
+    def test_json_document(self, setting_file, source_file, capsys):
+        import json
+
+        code = main(["explain-plan", "--json", setting_file, source_file])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert document["schema"] == "repro.obs/attribution/v1"
+        assert document["solved"] is True
+        assert [d["name"] for d in document["dependencies"]] == [
+            "st1",
+            "st2",
+            "t1",
+            "t2",
+        ]
+        for dep in document["dependencies"]:
+            assert dep["plans"], dep["name"]
+            # Every dependency shows per-step rows and estimates.
+            assert any(
+                step["candidates"] or step["probes"]
+                for plan in dep["plans"]
+                for step in plan["steps"]
+            ), dep["name"]
+            for plan in dep["plans"]:
+                for step in plan["steps"]:
+                    assert "estimated_rows" in step
+                    assert "seconds" in step
+
+    def test_sharded_run_reports_components(
+        self, setting_file, sharded_source_file, capsys
+    ):
+        import json
+
+        code = main(
+            [
+                "explain-plan",
+                "--shard",
+                "on",
+                "--json",
+                setting_file,
+                sharded_source_file,
+            ]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(document["components"]["chase.shard"]) == 3
+        for row in document["components"]["chase.shard"]:
+            assert row["size"] == 3
+            assert row["seconds"] >= 0.0
+
+    def test_attribution_stays_off_afterwards(
+        self, setting_file, source_file, capsys
+    ):
+        import os
+
+        from repro.obs import attribution
+
+        main(["explain-plan", setting_file, source_file])
+        capsys.readouterr()
+        assert not attribution.enabled()
+        assert "REPRO_ATTRIBUTION" not in os.environ
+
+
+class TestProgressFlag:
+    def test_solve_progress_heartbeat(self, setting_file, source_file, capsys):
+        import json
+
+        from repro.obs import attribution
+
+        code = main(["solve", setting_file, source_file, "--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        beats = [
+            json.loads(line)
+            for line in captured.err.splitlines()
+            if line.startswith("{")
+        ]
+        assert beats
+        assert all(record["type"] == "heartbeat" for record in beats)
+        assert beats[0]["round"] == 0
+        assert beats[-1]["atoms"] > 0
+        # The CLI uninstalls its heartbeat in the finally block.
+        assert attribution.heartbeat() is None
+
+
+class TestStatsTop:
+    def _metrics_log(self, tmp_path, setting_file, source_file, capsys):
+        path = tmp_path / "metrics.jsonl"
+        main(
+            [
+                "solve",
+                setting_file,
+                source_file,
+                "--metrics-log",
+                str(path),
+            ]
+        )
+        capsys.readouterr()
+        return str(path)
+
+    def test_top_truncates_and_ranks(
+        self, tmp_path, setting_file, source_file, capsys
+    ):
+        log = self._metrics_log(tmp_path, setting_file, source_file, capsys)
+        code = main(["stats", log, "--top", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        span_lines = [
+            line
+            for line in out.splitlines()
+            if line.startswith("solve")
+        ]
+        # Only the two most expensive spans survive, costliest first.
+        assert len(span_lines) == 2
+        assert span_lines[0].startswith("solve ")
+        assert "more spans" in out
+        assert "more counters" in out
+
+    def test_without_top_all_rows_render(
+        self, tmp_path, setting_file, source_file, capsys
+    ):
+        log = self._metrics_log(tmp_path, setting_file, source_file, capsys)
+        code = main(["stats", log])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "more spans" not in out
+        assert "chase.tgd_firings" in out
+
+
+class TestShardedTraceViewer:
+    def test_worker_lanes_render_in_sharded_trace(
+        self, tmp_path, setting_file, sharded_source_file, capsys
+    ):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "solve",
+                setting_file,
+                sharded_source_file,
+                "--shard",
+                "on",
+                "--workers",
+                "2",
+                "--trace-viewer",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert isinstance(events, list) and events
+        lane_names = {
+            event["args"]["name"]
+            for event in events
+            if event.get("name") == "thread_name"
+        }
+        assert "main" in lane_names
+        workers = {name for name in lane_names if name.startswith("worker-")}
+        assert workers, f"no worker lanes in {sorted(lane_names)}"
+        # Worker lanes carry real span events (the shard chases).
+        worker_tids = {
+            event["tid"]
+            for event in events
+            if event.get("name") == "thread_name"
+            and event["args"]["name"].startswith("worker-")
+        }
+        assert any(
+            event.get("tid") in worker_tids and event.get("ph") in ("B", "E")
+            for event in events
+        )
