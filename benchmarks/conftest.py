@@ -24,6 +24,7 @@ BENCH_ENGINE_FILE = "BENCH_engine.json"
 BENCH_MATCHING_FILE = "BENCH_matching.json"
 BENCH_OBS_FILE = "BENCH_obs.json"
 BENCH_SHARD_FILE = "BENCH_shard.json"
+BENCH_INCREMENTAL_FILE = "BENCH_incremental.json"
 
 
 def fit_polynomial_degree(sizes, times):
@@ -122,6 +123,7 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_MATCHING_FILE: [],
         BENCH_OBS_FILE: [],
         BENCH_SHARD_FILE: [],
+        BENCH_INCREMENTAL_FILE: [],
     }
     for bench in benches:
         fullname = getattr(bench, "fullname", "") or ""
@@ -135,6 +137,8 @@ def pytest_sessionfinish(session, exitstatus):
             target = BENCH_OBS_FILE
         elif "bench_shard" in fullname:
             target = BENCH_SHARD_FILE
+        elif "bench_incremental" in fullname:
+            target = BENCH_INCREMENTAL_FILE
         else:
             target = BENCH_CHASE_FILE
         groups[target].append(bench)

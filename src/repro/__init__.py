@@ -99,6 +99,7 @@ from .exchange import (
     existence_of_cwa_solutions,
     solve,
 )
+from .incremental import DeltaSession, SourceDelta
 from .answering import (
     all_four_semantics,
     datalog_certain_answers,
@@ -122,6 +123,7 @@ __all__ = [
     "Const",
     "DatalogProgram",
     "DataExchangeSetting",
+    "DeltaSession",
     "Egd",
     "ExplicitAlpha",
     "FirstOrderQuery",
@@ -133,6 +135,7 @@ __all__ = [
     "RelationSymbol",
     "ReproError",
     "Schema",
+    "SourceDelta",
     "Tgd",
     "UnionOfConjunctiveQueries",
     "Variable",

@@ -72,6 +72,9 @@ class ChaseOutcome:
         Wall time of the run (perf_counter), populated by every engine.
     nulls_created:
         Number of fresh nulls invented by tgd firings during the run.
+    rounds:
+        Number of outer delta rounds a round-based engine performed
+        (semi-naive); 0 for engines that do not count rounds.
     """
 
     __slots__ = (
@@ -82,6 +85,7 @@ class ChaseOutcome:
         "reason",
         "elapsed_seconds",
         "nulls_created",
+        "rounds",
     )
 
     def __init__(
@@ -94,6 +98,7 @@ class ChaseOutcome:
         *,
         elapsed_seconds: float = 0.0,
         nulls_created: int = 0,
+        rounds: int = 0,
     ):
         self.status = status
         self.instance = instance
@@ -102,6 +107,7 @@ class ChaseOutcome:
         self.reason = reason
         self.elapsed_seconds = elapsed_seconds
         self.nulls_created = nulls_created
+        self.rounds = rounds
 
     @property
     def successful(self) -> bool:

@@ -121,10 +121,19 @@ def seminaive_chase(
     max_steps: int = DEFAULT_MAX_STEPS,
     trace: bool = False,
     null_factory: Optional[NullFactory] = None,
+    initial_delta: Optional[Sequence[Atom]] = None,
 ) -> ChaseOutcome:
     """Standard chase with semi-naive trigger discovery.
 
     Same contract as :func:`repro.chase.standard.standard_chase`.
+
+    ``initial_delta`` seeds the first delta round with a subset of the
+    instance instead of all of it -- the incremental re-solve path
+    (:mod:`repro.incremental`) passes just the edited atoms (plus the
+    re-derivation frontier) so a continuation chase only inspects
+    triggers that can involve them.  ``None`` (the default) keeps the
+    from-scratch behavior.  Egds are still checked globally every
+    round, so an edit that enables a merge is never missed.
     """
     tgds, egds = split_dependencies(list(dependencies))
     # Delta-join decompositions, once per run: each (seed, rest) pair
@@ -135,7 +144,11 @@ def seminaive_chase(
     steps = 0
     nulls_created = 0
     log: List[ChaseStep] = []
-    delta: List[Atom] = list(current)
+    delta: List[Atom] = (
+        list(current)
+        if initial_delta is None
+        else [item for item in initial_delta if item in current]
+    )
     started = time.perf_counter()
     firings = counter("chase.tgd_firings")
     merges = counter("chase.egd_merges")
@@ -158,6 +171,7 @@ def seminaive_chase(
             reason,
             elapsed_seconds=time.perf_counter() - started,
             nulls_created=nulls_created,
+            rounds=round_index,
         )
 
     def out_of_budget() -> ChaseOutcome:

@@ -22,6 +22,14 @@ Commands
                the repro.obs/attribution/v1 document).
 ``bench-compare``  diff fresh benchmark medians against a committed
                BENCH_*.json baseline; exits nonzero on regression.
+``delta-bench``  race incremental re-solves (``repro.incremental``)
+               against full re-solves over a random source-edit stream,
+               asserting core fingerprint parity on every edit.
+
+``solve`` can re-solve *incrementally*: ``--provenance LEDGER`` on a
+first run persists the derivation ledger, and a later ``solve
+--incremental-from LEDGER --delta FILE`` resumes from it, applies the
+source delta, and maintains the solution without re-chasing.
 
 Settings are described in a small text format, one declaration per line
 (``#`` starts a comment):
@@ -253,16 +261,19 @@ def command_solve(args: argparse.Namespace) -> int:
     source = load_instance(args.source, setting)
     cache, executor = _engine_from_args(args)
     try:
-        result = solve(
-            setting,
-            source,
-            max_steps=args.max_steps,
-            engine=args.engine,
-            core_algorithm=args.core_algorithm,
-            cache=cache,
-            executor=executor,
-            shard=args.shard,
-        )
+        if args.incremental_from:
+            result = _solve_incremental(args, setting, source, cache)
+        else:
+            result = solve(
+                setting,
+                source,
+                max_steps=args.max_steps,
+                engine=args.engine,
+                core_algorithm=args.core_algorithm,
+                cache=cache,
+                executor=executor,
+                shard=args.shard,
+            )
     finally:
         if executor is not None:
             executor.close()
@@ -273,6 +284,139 @@ def command_solve(args: argparse.Namespace) -> int:
     print()
     _print_instance(result.core_solution, "core (minimal CWA-solution)")
     print(f"\nchase steps: {result.chase_steps}")
+    if args.fingerprint:
+        from .engine.fingerprint import fingerprint_instance
+
+        print(
+            "core fingerprint: "
+            f"{fingerprint_instance(result.core_solution, canonical=True)}"
+        )
+    return 0
+
+
+def _solve_incremental(
+    args: argparse.Namespace, setting: DataExchangeSetting, source: Instance, cache
+):
+    """The ``solve --incremental-from`` path: resume a ledger, apply a delta.
+
+    ``source`` is the instance the persisted ledger describes; ``--delta``
+    edits it.  When ``--provenance`` is recording, the persisted ledger is
+    ingested into the outer recording ledger, so the file written at exit
+    holds the *updated* derivation DAG (ready for the next increment).
+    """
+    from .incremental import DeltaSession, SourceDelta
+    from .obs.provenance import active_ledger
+
+    with open(args.incremental_from, encoding="utf-8") as handle:
+        persisted = handle.read()
+    session = DeltaSession.from_ledger(
+        setting,
+        source,
+        persisted,
+        max_steps=args.max_steps,
+        cache=cache,
+        ledger=active_ledger(),
+    )
+    if args.delta:
+        with open(args.delta, encoding="utf-8") as handle:
+            delta = SourceDelta.parse(handle.read(), setting.source_schema)
+        session.apply(delta)
+    return session.result
+
+
+def command_delta_bench(args: argparse.Namespace) -> int:
+    """Race incremental applies against full re-solves over an edit stream.
+
+    Each edit deletes ``--edit-fraction`` of the current source at random
+    and inserts the same number of fresh atoms (same relations, fresh
+    constants).  Every incremental result is checked for fp/v1 core
+    fingerprint parity against a from-scratch solve of the same edited
+    source; any mismatch makes the exit status 1.
+    """
+    import random
+    import statistics
+
+    from .core.atoms import Atom
+    from .core.terms import Const
+    from .engine.fingerprint import fingerprint_instance
+    from .exchange.solve import solve
+    from .incremental import DeltaSession, SourceDelta
+
+    setting = load_setting(args.setting)
+    source = load_instance(args.source, setting)
+    rng = random.Random(args.seed)
+    session = DeltaSession(setting, source, max_steps=args.max_steps)
+    edit_size = max(1, round(args.edit_fraction * len(source)))
+    incremental_times: List[float] = []
+    full_times: List[float] = []
+    mismatches = 0
+    fresh = 0
+    print(f"{'edit':>4}  {'incremental_s':>13}  {'full_s':>10}  "
+          f"{'speedup':>8}  parity")
+    for index in range(args.edits):
+        atoms = sorted(session.source)
+        deletions = rng.sample(atoms, min(edit_size, len(atoms)))
+        insertions = []
+        for _ in range(edit_size):
+            template = rng.choice(atoms)
+            fresh += 1
+            insertions.append(
+                Atom(
+                    template.relation,
+                    tuple(
+                        Const(f"delta_{fresh}_{position}")
+                        for position in range(template.relation.arity)
+                    ),
+                )
+            )
+        delta = SourceDelta(
+            insertions=Instance(insertions), deletions=Instance(deletions)
+        )
+        started = time.perf_counter()
+        result = session.apply(delta)
+        incremental_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        full = solve(
+            setting,
+            session.source,
+            engine="seminaive",
+            max_steps=args.max_steps,
+        )
+        full_seconds = time.perf_counter() - started
+        incremental_times.append(incremental_seconds)
+        full_times.append(full_seconds)
+        fp_incremental = (
+            fingerprint_instance(result.core_solution, canonical=True)
+            if result.core_solution is not None
+            else "failed"
+        )
+        fp_full = (
+            fingerprint_instance(full.core_solution, canonical=True)
+            if full.core_solution is not None
+            else "failed"
+        )
+        parity = fp_incremental == fp_full
+        if not parity:
+            mismatches += 1
+        ratio = full_seconds / incremental_seconds if incremental_seconds else 0
+        print(
+            f"{index:>4}  {incremental_seconds:>13.6f}  {full_seconds:>10.6f}  "
+            f"{ratio:>7.1f}x  {'ok' if parity else 'MISMATCH'}"
+        )
+    median_incremental = statistics.median(incremental_times)
+    median_full = statistics.median(full_times)
+    speedup = median_full / median_incremental if median_incremental else 0.0
+    print(
+        f"\nmedian incremental: {median_incremental:.6f} s, "
+        f"median full: {median_full:.6f} s, speedup: {speedup:.1f}x"
+    )
+    if mismatches:
+        print(
+            f"error: {mismatches}/{args.edits} edits broke core fingerprint "
+            f"parity",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -757,9 +901,63 @@ def build_parser() -> argparse.ArgumentParser:
             "static analysis allows), 'off' never"
         ),
     )
+    solve.add_argument(
+        "--incremental-from",
+        metavar="LEDGER",
+        default=None,
+        help=(
+            "resume from a repro.obs/prov/v1 ledger a previous "
+            "solve --provenance of this source wrote, instead of "
+            "chasing from scratch (--engine/--core-algorithm/--shard "
+            "are ignored: the incremental path is semi-naive + "
+            "blockwise)"
+        ),
+    )
+    solve.add_argument(
+        "--delta",
+        metavar="FILE",
+        default=None,
+        help=(
+            "with --incremental-from: apply a source delta before "
+            "printing -- either repro.io/delta/v1 JSON or lines of "
+            "\"+ M('a','b')\" / \"- N('x','y')\""
+        ),
+    )
+    solve.add_argument(
+        "--fingerprint",
+        action="store_true",
+        help=(
+            "also print the fp/v1 canonical fingerprint of the core "
+            "(identical across batch and incremental solves of the "
+            "same source)"
+        ),
+    )
     _add_engine_flags(solve)
     _add_obs_flags(solve)
     solve.set_defaults(run=command_solve)
+
+    dbench = commands.add_parser(
+        "delta-bench",
+        help=(
+            "race incremental re-solves against full re-solves over a "
+            "random edit stream, asserting core fingerprint parity"
+        ),
+    )
+    dbench.add_argument("setting", help="setting file")
+    dbench.add_argument("source", help="source instance file")
+    dbench.add_argument(
+        "--edits", type=int, default=20, help="edit stream length"
+    )
+    dbench.add_argument(
+        "--edit-fraction",
+        type=float,
+        default=0.01,
+        help="fraction of the source touched per edit (default 0.01)",
+    )
+    dbench.add_argument("--seed", type=int, default=0)
+    dbench.add_argument("--max-steps", type=int, default=200_000)
+    _add_obs_flags(dbench)
+    dbench.set_defaults(run=command_delta_bench)
 
     chase = commands.add_parser("chase", help="narrated chase run")
     chase.add_argument("setting")

@@ -25,6 +25,7 @@ from typing import (
     Iterator,
     List,
     Mapping,
+    Optional,
     Set,
     Tuple,
 )
@@ -49,13 +50,25 @@ class Instance:
     1
     """
 
-    __slots__ = ("_atoms", "_by_relation", "_by_position", "_by_tuple")
+    __slots__ = (
+        "_atoms",
+        "_by_relation",
+        "_by_position",
+        "_by_tuple",
+        "_fingerprints",
+        "_canonical_cache",
+    )
 
     def __init__(self, atoms: Iterable[Atom] = ()):
         self._atoms: Set[Atom] = set()
         self._by_relation: Dict[str, Set[Atom]] = {}
         self._by_position: Dict[Tuple[str, int, Value], Set[Atom]] = {}
         self._by_tuple: Dict[str, Set[Tuple[Value, ...]]] = {}
+        # Memoized fingerprint()/canonical() results, dropped on any
+        # mutation.  The incremental re-solve loop fingerprints the same
+        # unchanged instances once per edit; these make that free.
+        self._fingerprints: Dict[bool, str] = {}
+        self._canonical_cache: Optional["Instance"] = None
         for item in atoms:
             self.add(item)
 
@@ -72,6 +85,7 @@ class Instance:
             raise SchemaError(f"cannot add non-ground atom {item!r} to an instance")
         if item in self._atoms:
             return False
+        self._invalidate_caches()
         self._atoms.add(item)
         name = item.relation.name
         self._by_relation.setdefault(name, set()).add(item)
@@ -91,6 +105,7 @@ class Instance:
         """Remove an atom if present; return True if it was present."""
         if item not in self._atoms:
             return False
+        self._invalidate_caches()
         self._atoms.remove(item)
         name = item.relation.name
         bucket = self._by_relation.get(name)
@@ -111,6 +126,17 @@ class Instance:
                 if not slot:
                     del self._by_position[key]
         return True
+
+    def _invalidate_caches(self) -> None:
+        """Drop memoized fingerprint/canonical forms (dirty flag).
+
+        Rebinds (rather than clears) the dicts so copies sharing a cache
+        snapshot keep their still-valid entries.
+        """
+        if self._fingerprints:
+            self._fingerprints = {}
+        if self._canonical_cache is not None:
+            self._canonical_cache = None
 
     def replace_value(self, old: Value, new: Value) -> None:
         """Replace every occurrence of ``old`` by ``new`` (egd application).
@@ -227,7 +253,12 @@ class Instance:
 
     def copy(self) -> "Instance":
         """An independent copy (indexes are rebuilt incrementally)."""
-        return Instance(self._atoms)
+        result = Instance(self._atoms)
+        # Same atom set, same digests: seed the copy's caches.  The
+        # copy's first mutation rebinds them without touching ours.
+        result._fingerprints = dict(self._fingerprints)
+        result._canonical_cache = self._canonical_cache
+        return result
 
     def union(self, other: "Instance") -> "Instance":
         """A new instance holding the atoms of both."""
@@ -321,13 +352,22 @@ class Instance:
         the same renaming) hash equally -- the form used by the
         ``repro.engine`` result cache to deduplicate semantically equal
         inputs.
+
+        Both variants are memoized until the next mutation; repeat
+        lookups land in the ``fingerprint.cache_hits`` counter.
         """
+        cached = self._fingerprints.get(canonical)
+        if cached is not None:
+            _cache_hit()
+            return cached
         target = self.canonical() if canonical else self
         digest = hashlib.sha256()
         for token in sorted(_atom_token(item) for item in target._atoms):
             digest.update(token)
             digest.update(b"\x1e")
-        return digest.hexdigest()
+        result = digest.hexdigest()
+        self._fingerprints[canonical] = result
+        return result
 
     # ------------------------------------------------------------------
     # Equality and canonical forms
@@ -370,7 +410,14 @@ class Instance:
         cycle, so ``canonical(canonical(I)) == canonical(I)`` -- the
         stability the ``repro.io`` codec and the ``repro.engine`` cache
         keys rely on.
+
+        The form is memoized until the next mutation (callers must not
+        mutate the returned instance); hits count towards
+        ``fingerprint.cache_hits``.
         """
+        if self._canonical_cache is not None:
+            _cache_hit()
+            return self._canonical_cache
         history: List[Tuple[Atom, ...]] = []
         forms: Dict[Tuple[Atom, ...], "Instance"] = {}
         current = self
@@ -380,7 +427,10 @@ class Instance:
             if key in forms:
                 start = history.index(key)
                 least = min(history[start:])
-                return forms[least]
+                result = forms[least]
+                result._canonical_cache = result  # idempotent
+                self._canonical_cache = result
+                return result
             history.append(key)
             forms[key] = current
 
@@ -403,6 +453,20 @@ class Instance:
             )
             lines.append(f"{indent}{rendered}")
         return "\n".join(lines) if lines else f"{indent}(empty)"
+
+
+#: Lazily bound ``fingerprint.cache_hits`` counter (importing
+#: :mod:`repro.obs` at module load would cycle: obs imports core).
+_CACHE_HITS = None
+
+
+def _cache_hit() -> None:
+    global _CACHE_HITS
+    if _CACHE_HITS is None:
+        from ..obs import counter
+
+        _CACHE_HITS = counter("fingerprint.cache_hits")
+    _CACHE_HITS.inc()
 
 
 def _atom_token(item: Atom) -> bytes:

@@ -200,6 +200,92 @@ def _minimize_block(
     return working if changed else None
 
 
+def minimize_block_tracked(
+    instance: Instance, block: FrozenSet[Null], *, via: str = "incremental"
+):
+    """:func:`_minimize_block` with fold tracking for memoized replay.
+
+    Performs exactly the same fold search and applications (same
+    deterministic order, same first-match choices), but additionally
+    composes the applied folds into one total endomorphism of the
+    block's nulls and records the final images of the originally owned
+    atoms.  Returns ``(working, mapping, images, crossed)``:
+
+    * ``working`` -- the minimized instance, or None if nothing folded;
+    * ``mapping`` -- the composed ``{null: value}`` endomorphism over
+      the original block (identity entries included);
+    * ``images`` -- sorted tuple ``h(owned)``: replaying the fold on a
+      later instance is ``(I \\ owned) ∪ images``;
+    * ``crossed`` -- True when some fold mapped a null onto a null of
+      *another* block; the caller must then fall back to a full
+      :func:`blockwise_core` pass (the memoized per-block replay
+      argument assumes folds stay inside their block), and ``mapping``/
+      ``images`` are meaningless.
+    """
+    from ..logic.matching import attributed, first_match
+
+    original_block = block
+    original_owned: Optional[List[Atom]] = None
+    total: Dict[Null, Value] = {}
+    changed = False
+    working: Optional[Instance] = None
+    while block:
+        base = working if working is not None else instance
+        owned = block_atoms(base, block)
+        if original_owned is None:
+            original_owned = owned
+        if not owned:
+            break
+        pattern, back = _block_pattern(owned, block)
+        if working is None:
+            working = instance.copy()
+        folded_once = False
+        for atom in owned:
+            working.discard(atom)
+            _RETRACTS.inc()
+            with attributed("hom"):
+                found = first_match(pattern, working)
+            working.add(atom)
+            if found is None:
+                continue
+            _FOLDS.inc()
+            mapping = {
+                back[variable]: value for variable, value in found.items()
+            }
+            images = [item.rename_values(mapping) for item in owned]
+            for item in owned:
+                working.discard(item)
+            for item in images:
+                working.add(item)
+            ledger = active_ledger()
+            if ledger is not None:
+                ledger.record_retraction(
+                    via, set(owned) - set(images), mapping
+                )
+            if any(
+                isinstance(value, Null) and value not in original_block
+                for value in mapping.values()
+            ):
+                return working, {}, (), True
+            for null in original_block:
+                value = total.get(null, null)
+                total[null] = mapping.get(value, value)
+            block = frozenset(
+                value
+                for value in (mapping.get(null, null) for null in block)
+                if isinstance(value, Null) and value in block
+            )
+            changed = True
+            folded_once = True
+            break
+        if not folded_once:
+            break
+    final_images = tuple(
+        sorted({item.rename_values(total) for item in (original_owned or ())})
+    )
+    return (working if changed else None), total, final_images, False
+
+
 def blockwise_core(instance: Instance) -> Instance:
     """The core of ``instance``, computed block-by-block.
 

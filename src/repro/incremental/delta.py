@@ -1,0 +1,139 @@
+"""Source deltas: the edit language of incremental re-solving.
+
+A :class:`SourceDelta` is a pair of ground source instances -- atoms to
+insert and atoms to delete.  Applying it to a source ``S`` yields
+``(S \\ deletions) ∪ insertions``; an atom listed in both halves ends up
+present (insert wins), and edits that do not change ``S`` (inserting a
+present atom, deleting an absent one) are no-ops.  :meth:`effective`
+normalizes a delta against a concrete source into exactly the atoms
+that actually flip membership, which is what the delta-maintenance
+machinery in :mod:`repro.incremental.session` consumes.
+
+Two serializations are supported:
+
+* the JSON codec ``repro.io/delta/v1`` (see :mod:`repro.io`), and
+* a line-oriented text DSL for the CLI::
+
+      + M('a', 'b')      # insert
+      - N('a', 'c')      # delete
+
+  with ``#`` comments and blank lines ignored.  :meth:`parse` sniffs
+  the format (JSON payloads start with ``{``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.errors import ReproError
+from ..core.instance import Instance
+from ..core.schema import Schema
+from ..io import delta_to_payload, dumps_delta, loads_delta
+
+
+def _as_ground_instance(atoms, role: str) -> Instance:
+    instance = atoms if isinstance(atoms, Instance) else Instance(atoms)
+    if not instance.is_ground:
+        raise ReproError(
+            f"delta {role} must be ground (source instances have no nulls)"
+        )
+    return instance.copy() if atoms is instance else instance
+
+
+class SourceDelta:
+    """An edit to a source instance: atoms to insert and to delete."""
+
+    __slots__ = ("insertions", "deletions")
+
+    def __init__(self, insertions=(), deletions=()):
+        self.insertions = _as_ground_instance(insertions, "insertions")
+        self.deletions = _as_ground_instance(deletions, "deletions")
+
+    def __len__(self) -> int:
+        return len(self.insertions) + len(self.deletions)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SourceDelta(+{len(self.insertions)} atoms, "
+            f"-{len(self.deletions)} atoms)"
+        )
+
+    def apply_to(self, source: Instance) -> Instance:
+        """``(source \\ deletions) ∪ insertions`` as a fresh instance."""
+        result = source.copy()
+        for atom in self.deletions:
+            result.discard(atom)
+        for atom in self.insertions:
+            result.add(atom)
+        return result
+
+    def effective(
+        self, source: Instance
+    ) -> Tuple[Tuple[Atom, ...], Tuple[Atom, ...]]:
+        """The membership-flipping part of the delta w.r.t. ``source``.
+
+        Returns ``(insertions, deletions)`` where the insertions are the
+        delta's insertions absent from ``source`` and the deletions are
+        its deletions present in ``source`` and not re-inserted.  Both
+        tuples are sorted, for deterministic downstream processing.
+        """
+        ins = tuple(
+            sorted(a for a in self.insertions if a not in source)
+        )
+        dels = tuple(
+            sorted(
+                a
+                for a in self.deletions
+                if a in source and a not in self.insertions
+            )
+        )
+        return ins, dels
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-serializable dict (``repro.io/delta/v1``)."""
+        return delta_to_payload(self.insertions, self.deletions)
+
+    def dumps(self, *, indent: Optional[int] = None) -> str:
+        """Versioned JSON text (``repro.io/delta/v1``), deterministic."""
+        return dumps_delta(self.insertions, self.deletions, indent=indent)
+
+    @classmethod
+    def loads(cls, text: str, schema: Optional[Schema] = None) -> "SourceDelta":
+        """Inverse of :meth:`dumps`."""
+        insertions, deletions = loads_delta(text, schema)
+        return cls(insertions, deletions)
+
+    @classmethod
+    def parse(cls, text: str, schema: Optional[Schema] = None) -> "SourceDelta":
+        """Parse either the JSON codec or the ``+``/``-`` line DSL."""
+        stripped = text.strip()
+        if stripped.startswith("{"):
+            return cls.loads(text, schema)
+        from ..logic.parser import parse_instance
+
+        insert_lines = []
+        delete_lines = []
+        for number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("+"):
+                insert_lines.append(line[1:].strip())
+            elif line.startswith("-"):
+                delete_lines.append(line[1:].strip())
+            else:
+                raise ReproError(
+                    f"delta line {number}: expected '+ Atom(...)' or "
+                    f"'- Atom(...)', got {raw!r}"
+                )
+        insertions = parse_instance("\n".join(insert_lines), schema)
+        deletions = parse_instance("\n".join(delete_lines), schema)
+        return cls(insertions, deletions)

@@ -289,6 +289,63 @@ def loads_instance(text: str, schema: Optional[Schema] = None) -> Instance:
     return instance_from_payload(payload, schema)
 
 
+# ----------------------------------------------------------------------
+# Source-delta codec (repro.io/delta/v1)
+# ----------------------------------------------------------------------
+
+#: Version tag of the delta payloads consumed by ``repro.incremental``.
+DELTA_SCHEMA = "repro.io/delta/v1"
+
+
+def delta_to_payload(insertions: Instance, deletions: Instance) -> dict:
+    """A source delta as a JSON-serializable dict (``repro.io/delta/v1``).
+
+    Both halves are full ``repro.io/v1`` instance payloads, so typed
+    cells (and hence constants named like null literals) survive.
+    """
+    return {
+        "schema": DELTA_SCHEMA,
+        "insert": instance_to_payload(insertions),
+        "delete": instance_to_payload(deletions),
+    }
+
+
+def delta_from_payload(payload: dict, schema: Optional[Schema] = None):
+    """Rebuild ``(insertions, deletions)`` from :func:`delta_to_payload`."""
+    if not isinstance(payload, dict):
+        raise ReproError(f"delta payload must be an object, got {payload!r}")
+    version = payload.get("schema")
+    if version != DELTA_SCHEMA:
+        raise ReproError(
+            f"unsupported delta payload schema {version!r} "
+            f"(expected {DELTA_SCHEMA!r})"
+        )
+    insertions = instance_from_payload(payload.get("insert"), schema)
+    deletions = instance_from_payload(payload.get("delete"), schema)
+    return insertions, deletions
+
+
+def dumps_delta(
+    insertions: Instance,
+    deletions: Instance,
+    *,
+    indent: Optional[int] = None,
+) -> str:
+    """Serialize a source delta to versioned JSON (deterministic)."""
+    return json.dumps(
+        delta_to_payload(insertions, deletions), indent=indent, sort_keys=True
+    )
+
+
+def loads_delta(text: str, schema: Optional[Schema] = None):
+    """Inverse of :func:`dumps_delta`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"invalid delta JSON: {error}") from None
+    return delta_from_payload(payload, schema)
+
+
 def roundtrip_safe(instance: Instance) -> bool:
     """True if every constant survives the CSV round trip unchanged.
 

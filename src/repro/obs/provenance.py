@@ -15,7 +15,12 @@ to be:
   rewriting the recorded facts it touched;
 * ``retract`` -- core folding dropped the fact via a proper
   endomorphism (so it does *not* survive into the minimal
-  CWA-solution), with the folding homomorphism attached.
+  CWA-solution), with the folding homomorphism attached;
+* ``delete`` -- a source delta removed the fact (or its derivation
+  cone) from the instance itself; unlike ``retract`` the fact is gone
+  from the *chase state*, not merely from the core, and a later firing
+  may legitimately re-derive it (DRed-style re-derivation), which
+  re-assigns its producer.
 
 Together the records form a per-run derivation DAG.  :meth:`why` walks
 it backwards from a fact to source atoms -- the paper-style
@@ -59,7 +64,7 @@ Binding = Tuple[Tuple[str, Value], ...]
 
 
 class Step:
-    """One ledger record; ``kind`` is source / tgd / egd / retract."""
+    """One ledger record; ``kind`` is source/tgd/egd/retract/delete."""
 
     __slots__ = (
         "index",
@@ -116,7 +121,7 @@ class Step:
         if self.kind == "egd":
             old, new = self.merged
             return f"Step({self.index}: {self.dependency or 'egd'} {old} ↦ {new})"
-        return f"Step({self.index}: retract {self.dropped})"
+        return f"Step({self.index}: {self.kind} {self.dropped})"
 
 
 class Justification:
@@ -163,8 +168,29 @@ class ProvenanceLedger:
     def __init__(self):
         self._steps: List[Step] = []
         self._producers: Dict[Atom, int] = {}
-        self._retracted: Dict[Atom, int] = {}
+        self._retracted: Dict[Atom, int] = {}  # folded away (kind retract)
+        self._deleted: Dict[Atom, int] = {}  # removed by delta (kind delete)
         self._live: Set[Atom] = set()
+        # The chase instance implied by the steps: like _live but keeps
+        # core-folded atoms (folds shrink the core, not the chase).
+        self._chase_state: Set[Atom] = set()
+        self._merges: int = 0
+
+    def clear(self) -> None:
+        """Reset the ledger in place (keeping external references valid).
+
+        The incremental session resets its ledger like this when it
+        falls back to a from-scratch re-solve: holders of the ledger
+        object (e.g. the CLI's ``--provenance`` writer) keep observing
+        the fresh recording.
+        """
+        self._steps.clear()
+        self._producers.clear()
+        self._retracted.clear()
+        self._deleted.clear()
+        self._live.clear()
+        self._chase_state.clear()
+        self._merges = 0
 
     # -- recording (called by the engines) ------------------------------
 
@@ -172,10 +198,34 @@ class ProvenanceLedger:
         self._steps.append(step)
         return step
 
+    def _produce(self, item: Atom, index: int) -> None:
+        """Register ``item`` as produced by step ``index``.
+
+        A fact's producer is the first step that put it into the
+        instance -- unless the fact was *deleted* in between, in which
+        case the re-derivation becomes the new producer (``why`` must
+        explain the justification that currently holds, not the one the
+        delta destroyed).
+        """
+        if item in self._deleted:
+            del self._deleted[item]
+            self._producers[item] = index
+        else:
+            self._producers.setdefault(item, index)
+        self._live.add(item)
+        self._chase_state.add(item)
+
     def record_source(self, atoms: Iterable[Atom]) -> None:
-        """Register the atoms of I₀.  Idempotent per atom."""
+        """Register the atoms of I₀.  Idempotent per atom.
+
+        Atoms previously removed by a ``delete`` step are treated as
+        fresh again: re-inserting a deleted source atom yields a new
+        source record (its old derivation no longer exists).
+        """
         fresh = tuple(
-            item for item in sorted(atoms) if item not in self._producers
+            item
+            for item in sorted(atoms)
+            if item not in self._producers or item in self._deleted
         )
         if not fresh:
             return
@@ -183,8 +233,7 @@ class ProvenanceLedger:
             Step(len(self._steps), "source", added=fresh)
         )
         for item in fresh:
-            self._producers[item] = step.index
-            self._live.add(item)
+            self._produce(item, step.index)
 
     def record_firing(
         self,
@@ -228,14 +277,18 @@ class ProvenanceLedger:
             )
         )
         for item in step.added:
-            self._producers.setdefault(item, step.index)
-            self._live.add(item)
+            self._produce(item, step.index)
 
     def record_merge(self, via: str, egd, old: Value, new: Value) -> None:
-        """One egd merge ``old ↦ new``; rewrites every live fact using old."""
+        """One egd merge ``old ↦ new``; rewrites every chase fact using old.
+
+        The rewrite set is the *chase state*, not just the live facts:
+        ``Instance.replace_value`` rewrites core-folded atoms too, and an
+        incremental continuation can merge after folds were recorded.
+        """
         rewrites = tuple(
             (item, item.rename_values({old: new}))
-            for item in sorted(self._live)
+            for item in sorted(self._chase_state)
             if old in item.args
         )
         step = self._append(
@@ -250,23 +303,36 @@ class ProvenanceLedger:
         )
         for before, after in rewrites:
             self._live.discard(before)
-            self._live.add(after)
-            self._producers.setdefault(after, step.index)
+            self._chase_state.discard(before)
+            self._produce(after, step.index)
+        self._merges += 1
 
     def record_retraction(
         self,
         via: str,
         dropped: Iterable[Atom],
         mapping: Dict[Value, Value],
+        *,
+        kind: str = "retract",
     ) -> None:
-        """Core folding dropped ``dropped`` via the endomorphism ``mapping``."""
+        """A step that removes facts from the result.
+
+        ``kind="retract"`` (the default) is core folding: ``dropped``
+        leaves the minimal CWA-solution via the endomorphism
+        ``mapping``, but stays part of the chase state.  ``kind=
+        "delete"`` is a source-delta removal: ``dropped`` (the deleted
+        atoms plus their derivation cone) leaves the chase state itself
+        and may later be re-derived.
+        """
+        if kind not in ("retract", "delete"):
+            raise ReproError(f"unknown retraction kind {kind!r}")
         dropped = tuple(sorted(dropped))
         if not dropped:
             return
         step = self._append(
             Step(
                 len(self._steps),
-                "retract",
+                kind,
                 via=via,
                 dropped=dropped,
                 mapping=tuple(
@@ -277,9 +343,16 @@ class ProvenanceLedger:
                 ),
             )
         )
+        removed = self._retracted if kind == "retract" else self._deleted
         for item in dropped:
-            self._retracted.setdefault(item, step.index)
+            removed.setdefault(item, step.index)
             self._live.discard(item)
+            if kind == "delete":
+                self._chase_state.discard(item)
+
+    def record_deletion(self, via: str, dropped: Iterable[Atom]) -> None:
+        """Convenience wrapper: a delta removed ``dropped`` from I₀'s cone."""
+        self.record_retraction(via, dropped, {}, kind="delete")
 
     # -- queries --------------------------------------------------------
 
@@ -302,6 +375,48 @@ class ProvenanceLedger:
         """The step that first produced ``fact``, or None."""
         index = self._producers.get(fact)
         return self._steps[index] if index is not None else None
+
+    def has_merges(self) -> bool:
+        """True when the ledger recorded at least one egd merge.
+
+        Merge steps do not carry the premise facts that triggered them,
+        so the incremental path cannot compute exact deletion cones
+        through them and falls back to a full re-solve.
+        """
+        return self._merges > 0
+
+    def chase_facts(self) -> Tuple[Atom, ...]:
+        """The current chase state implied by the ledger, sorted.
+
+        Tracks the steps: ``source``/``tgd`` add, ``egd`` rewrites,
+        ``delete`` removes -- while ``retract`` (core folding) does not
+        touch it, because folded facts leave the *core*, not the chase
+        instance.  This is what :meth:`DeltaSession.from_ledger
+        <repro.incremental.DeltaSession>` resumes from.
+        """
+        return tuple(sorted(self._chase_state))
+
+    def downstream_cone(self, roots: Iterable[Atom]) -> Set[Atom]:
+        """``roots`` plus every fact derived (transitively) from them.
+
+        The DRed over-deletion set: a fact joins the cone when some
+        recorded firing used a cone member as a parent, or an egd merge
+        rewrote a cone member into it.  One forward pass suffices --
+        every derivation edge points from an earlier step to a later
+        one, even across incremental continuation rounds.
+        """
+        cone: Set[Atom] = set(roots)
+        if not cone:
+            return cone
+        for step in self._steps:
+            if step.kind == "tgd":
+                if any(parent in cone for parent in step.parents):
+                    cone.update(step.added)
+            elif step.kind == "egd":
+                for before, after in step.rewrites:
+                    if before in cone:
+                        cone.add(after)
+        return cone
 
     def why(self, fact: Atom) -> Optional[Justification]:
         """The justification tree of ``fact``: its derivation from I₀.
@@ -347,6 +462,13 @@ class ProvenanceLedger:
 
     def why_not(self, fact: Atom) -> str:
         """A one-line account of why ``fact`` is not in the final result."""
+        delete_index = self._deleted.get(fact)
+        if delete_index is not None:
+            step = self._steps[delete_index]
+            return (
+                f"{fact!r} was deleted by delta (via {step.via or 'delta'}): "
+                f"the source edit removed it or every derivation of it"
+            )
         retract_index = self._retracted.get(fact)
         if retract_index is not None:
             step = self._steps[retract_index]
@@ -437,6 +559,20 @@ class ProvenanceLedger:
     @classmethod
     def from_payload(cls, payload: dict) -> "ProvenanceLedger":
         """Rebuild a ledger; the inverse of :meth:`to_payload`."""
+        ledger = cls()
+        ledger.ingest(payload)
+        return ledger
+
+    def ingest(self, payload: dict) -> None:
+        """Fill this (empty) ledger from a ``repro.obs/prov/v1`` payload.
+
+        Replays the steps through the same bookkeeping the live
+        recording paths use, so producers, live facts, retractions, and
+        deletions all round-trip exactly -- including the re-derivation
+        semantics of facts deleted and later re-produced.
+        """
+        if self._steps:
+            raise ReproError("cannot ingest into a non-empty ledger")
         if not isinstance(payload, dict):
             raise ReproError(
                 f"provenance payload must be an object, got {payload!r}"
@@ -447,24 +583,29 @@ class ProvenanceLedger:
                 f"unsupported provenance schema {version!r} "
                 f"(expected {SCHEMA!r})"
             )
-        ledger = cls()
         for index, body in enumerate(payload.get("steps", ())):
             step = _step_from_json(index, body)
-            ledger._steps.append(step)
+            self._steps.append(step)
             if step.kind in ("source", "tgd"):
                 for item in step.added:
-                    ledger._producers.setdefault(item, step.index)
-                    ledger._live.add(item)
+                    self._produce(item, step.index)
             elif step.kind == "egd":
                 for before, after in step.rewrites:
-                    ledger._live.discard(before)
-                    ledger._live.add(after)
-                    ledger._producers.setdefault(after, step.index)
+                    self._live.discard(before)
+                    self._chase_state.discard(before)
+                    self._produce(after, step.index)
+                self._merges += 1
             else:
+                removed = (
+                    self._retracted
+                    if step.kind == "retract"
+                    else self._deleted
+                )
                 for item in step.dropped:
-                    ledger._retracted.setdefault(item, step.index)
-                    ledger._live.discard(item)
-        return ledger
+                    removed.setdefault(item, step.index)
+                    self._live.discard(item)
+                    if step.kind == "delete":
+                        self._chase_state.discard(item)
 
     @classmethod
     def loads(cls, text: str) -> "ProvenanceLedger":
@@ -567,7 +708,7 @@ def _step_from_json(index: int, body) -> Step:
     if not isinstance(body, dict) or "kind" not in body:
         raise ReproError(f"malformed provenance step {body!r}")
     kind = body["kind"]
-    if kind not in ("source", "tgd", "egd", "retract"):
+    if kind not in ("source", "tgd", "egd", "retract", "delete"):
         raise ReproError(f"unknown provenance step kind {kind!r}")
     merged = body.get("merged")
     return Step(

@@ -1,0 +1,559 @@
+"""Incremental re-solving: delta sessions, delta codec, memoized core.
+
+The correctness bar (ISSUE 10): every incrementally maintained result
+must be fp/v1-fingerprint-identical (on the core, the canonical form the
+engine fingerprints) to a from-scratch solve of the edited source --
+deterministically on the worked examples, and property-tested over
+random edit streams against random weakly acyclic settings, including
+egd merges, deletions, and the documented full-re-solve fallbacks.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.obs as obs
+from repro import DeltaSession, SourceDelta, parse_instance
+from repro.core import Atom, Const, Instance, ReproError, Schema
+from repro.core.schema import RelationSymbol
+from repro.dependencies import Tgd
+from repro.engine import ResultCache, fingerprint_instance
+from repro.exchange.setting import DataExchangeSetting
+from repro.exchange.solve import solve
+from repro.generators import (
+    example_2_1_setting,
+    example_2_1_scaled_source,
+    random_source_for,
+    random_weakly_acyclic_setting,
+)
+from repro.io import dumps_delta, loads_delta
+from repro.obs.provenance import recording
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _fp(instance):
+    return fingerprint_instance(instance, canonical=True)
+
+
+def _assert_parity(session_result, setting, source):
+    """The session's result vs a from-scratch seminaive solve."""
+    batch = solve(setting, source, engine="seminaive")
+    assert session_result.cwa_solution_exists == batch.cwa_solution_exists
+    if batch.cwa_solution_exists:
+        assert _fp(session_result.core_solution) == _fp(batch.core_solution)
+
+
+def _anchored_setting():
+    """Egd-free, constant-anchored blocks: the fully incremental regime."""
+    return DataExchangeSetting.from_strings(
+        Schema.of(R=2),
+        Schema.of(A=2, B=2, C=2),
+        ["R(x,y) -> exists z . A(x,z) & B(z,y)"],
+        ["B(z,y) -> exists w . C(y,w)"],
+    )
+
+
+def _anchored_source(rows):
+    r = RelationSymbol("R", 2)
+    return Instance(
+        Atom(r, (Const(f"s{i}"), Const(f"t{i}"))) for i in range(rows)
+    )
+
+
+class TestSourceDelta:
+    def test_apply_to_and_effective(self):
+        source = parse_instance("M('a','b'), N('a','b')")
+        delta = SourceDelta(
+            insertions=parse_instance("N('a','c'), N('a','b')"),
+            deletions=parse_instance("M('a','b'), M('x','y')"),
+        )
+        edited = delta.apply_to(source)
+        assert edited == parse_instance("N('a','b'), N('a','c')")
+        insertions, deletions = delta.effective(source)
+        # N('a','b') is already present; M('x','y') is absent: both no-ops.
+        assert insertions == tuple(parse_instance("N('a','c')"))
+        assert deletions == tuple(parse_instance("M('a','b')"))
+
+    def test_insert_wins_over_delete(self):
+        source = parse_instance("M('a','b')")
+        delta = SourceDelta(
+            insertions=parse_instance("M('a','b')"),
+            deletions=parse_instance("M('a','b')"),
+        )
+        assert delta.apply_to(source) == source
+        insertions, deletions = delta.effective(source)
+        assert insertions == () and deletions == ()
+
+    def test_nulls_rejected(self):
+        from repro.core import null
+
+        tainted = Atom(RelationSymbol("M", 2), (null(1), Const("b")))
+        with pytest.raises(ReproError):
+            SourceDelta(insertions=[tainted])
+
+    def test_json_roundtrip(self):
+        delta = SourceDelta(
+            insertions=parse_instance("N('a','c')"),
+            deletions=parse_instance("M('a','b')"),
+        )
+        again = SourceDelta.loads(delta.dumps())
+        assert again.insertions == delta.insertions
+        assert again.deletions == delta.deletions
+
+    def test_codec_schema_enforced(self):
+        payload = json.loads(dumps_delta(Instance(), Instance()))
+        payload["schema"] = "repro.io/delta/v0"
+        with pytest.raises(ReproError):
+            loads_delta(json.dumps(payload))
+
+    def test_parse_dsl(self):
+        delta = SourceDelta.parse(
+            "# a comment\n+ N('a','c')\n\n- M('a','b')\n"
+        )
+        assert delta.insertions == parse_instance("N('a','c')")
+        assert delta.deletions == parse_instance("M('a','b')")
+
+    def test_parse_sniffs_json(self):
+        delta = SourceDelta(insertions=parse_instance("N('a','c')"))
+        assert SourceDelta.parse(delta.dumps()).insertions == delta.insertions
+
+    def test_parse_rejects_unmarked_lines(self):
+        with pytest.raises(ReproError):
+            SourceDelta.parse("N('a','c')")
+
+
+class TestDeltaSessionBasics:
+    def test_initial_solve_matches_batch(self):
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(10, seed=1)
+        session = DeltaSession(setting, source)
+        _assert_parity(session.result, setting, source)
+
+    def test_insertion_only(self):
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(10, seed=2)
+        session = DeltaSession(setting, source)
+        delta = SourceDelta(insertions=parse_instance("N('u1','u2')"))
+        result = session.apply(delta)
+        assert session.source == delta.apply_to(source)
+        _assert_parity(result, setting, session.source)
+        # Insertions never need the full fallback, even with egds around.
+        assert obs.counter("incremental.full_fallbacks").value == 0
+
+    def test_deletion_and_rederivation(self):
+        setting = _anchored_setting()
+        source = _anchored_source(12)
+        session = DeltaSession(setting, source)
+        victim = sorted(source)[0]
+        result = session.apply(SourceDelta(deletions=[victim]))
+        _assert_parity(result, setting, session.source)
+        assert obs.counter("incremental.retracted").value > 0
+
+    def test_mixed_edit_stream(self):
+        setting = _anchored_setting()
+        source = _anchored_source(15)
+        session = DeltaSession(setting, source)
+        r = RelationSymbol("R", 2)
+        for step in range(4):
+            victim = sorted(session.source)[step]
+            fresh = Atom(r, (Const(f"n{step}a"), Const(f"n{step}b")))
+            result = session.apply(
+                SourceDelta(insertions=[fresh], deletions=[victim])
+            )
+            _assert_parity(result, setting, session.source)
+        assert obs.counter("incremental.full_fallbacks").value == 0
+        assert obs.counter("incremental.applies").value == 4
+
+    def test_block_memo_skips_untouched_blocks(self):
+        setting = _anchored_setting()
+        source = _anchored_source(30)
+        session = DeltaSession(setting, source)
+        victim = sorted(session.source)[7]
+        session.apply(SourceDelta(deletions=[victim]))
+        skipped = obs.counter("incremental.blocks_skipped").value
+        replayed = obs.counter("incremental.blocks_replayed").value
+        reminimized = obs.counter("incremental.blocks_reminimized").value
+        # The edit touches one R row's blocks; the other ~29 rows' blocks
+        # must be skipped or replayed, not re-minimized.
+        assert skipped + replayed > reminimized - 31  # initial pass counts too
+        assert skipped + replayed >= 29
+
+    def test_empty_delta_is_identity(self):
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(6, seed=3)
+        session = DeltaSession(setting, source)
+        before = session.result
+        after = session.apply(SourceDelta())
+        assert after is before
+        assert obs.counter("incremental.delta_rounds").value == 0
+
+    def test_rounds_counter_moves(self):
+        setting = _anchored_setting()
+        source = _anchored_source(8)
+        session = DeltaSession(setting, source)
+        session.apply(
+            SourceDelta(insertions=parse_instance("R('nx','ny')"))
+        )
+        assert obs.counter("incremental.delta_rounds").value > 0
+
+    def test_why_not_reports_deleted_by_delta(self):
+        setting = _anchored_setting()
+        source = _anchored_source(5)
+        session = DeltaSession(setting, source)
+        victim = sorted(source)[2]
+        session.apply(SourceDelta(deletions=[victim]))
+        assert "deleted by delta" in session.ledger.why_not(victim)
+
+    def test_validates_edited_source(self):
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(4, seed=4)
+        session = DeltaSession(setting, source)
+        bad = Instance([Atom(RelationSymbol("Zap", 1), (Const("x"),))])
+        with pytest.raises(Exception):
+            session.apply(SourceDelta(insertions=bad))
+
+    def test_non_empty_ledger_rejected(self):
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(3, seed=5)
+        with recording() as ledger:
+            solve(setting, source)
+        with pytest.raises(ReproError):
+            DeltaSession(setting, source, ledger=ledger)
+
+
+class TestFallbacks:
+    def test_deletion_with_merges_falls_back(self):
+        # The key egd merges the Q-tgd's null into the P-copied constant
+        # regardless of firing order.  Deletion cones through merges are
+        # inexact, so the session must fully re-solve -- and still
+        # produce the right fingerprint.
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(P=2, Q=1),
+            Schema.of(F=2, G=1),
+            ["P(x,y) -> F(x,y)", "Q(x) -> exists w . F(x,w) & G(w)"],
+            ["F(x,y) & F(x,z) -> y = z"],
+        )
+        source = parse_instance("P('a','b'), Q('a')")
+        session = DeltaSession(setting, source)
+        assert session.ledger.has_merges()
+        victim = sorted(source)[0]
+        result = session.apply(SourceDelta(deletions=[victim]))
+        assert obs.counter("incremental.full_fallbacks").value == 1
+        _assert_parity(result, setting, session.source)
+
+    def test_fo_premise_always_falls_back(self):
+        sigma = Schema.of(P=2)
+        tau = Schema.of(Q=1)
+        tgd = Tgd.parse("(exists y . P(x, y)) -> Q(x)")
+        setting = DataExchangeSetting(sigma, tau, [tgd])
+        source = parse_instance("P('a','b'), P('c','d')")
+        session = DeltaSession(setting, source)
+        result = session.apply(
+            SourceDelta(insertions=parse_instance("P('e','f')"))
+        )
+        assert obs.counter("incremental.full_fallbacks").value == 1
+        _assert_parity(result, setting, session.source)
+
+    def test_failure_then_recovery(self):
+        # An egd equating two constants fails the chase; the session
+        # reports it and recovers on the next (repairing) delta.
+        setting = DataExchangeSetting.from_strings(
+            Schema.of(S=2),
+            Schema.of(T=2),
+            ["S(x,y) -> T(x,y)"],
+            ["T(x,y) & T(x,z) -> y = z"],
+        )
+        source = parse_instance("S('k','v1')")
+        session = DeltaSession(setting, source)
+        assert session.result.cwa_solution_exists
+        broken = session.apply(
+            SourceDelta(insertions=parse_instance("S('k','v2')"))
+        )
+        assert not broken.cwa_solution_exists
+        repaired = session.apply(
+            SourceDelta(deletions=parse_instance("S('k','v2')"))
+        )
+        assert repaired.cwa_solution_exists
+        _assert_parity(repaired, setting, session.source)
+
+
+class TestFromLedger:
+    def _solved_ledger(self, setting, source):
+        with recording() as ledger:
+            solve(setting, source, engine="seminaive")
+        return ledger
+
+    def test_resume_and_apply(self):
+        setting = _anchored_setting()
+        source = _anchored_source(10)
+        ledger = self._solved_ledger(setting, source)
+        session = DeltaSession.from_ledger(
+            setting, source, ledger.dumps()
+        )
+        _assert_parity(session.result, setting, source)
+        victim = sorted(source)[4]
+        result = session.apply(SourceDelta(deletions=[victim]))
+        _assert_parity(result, setting, session.source)
+
+    def test_resume_from_payload_dict(self):
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(6, seed=7)
+        ledger = self._solved_ledger(setting, source)
+        session = DeltaSession.from_ledger(
+            setting, source, ledger.to_payload()
+        )
+        _assert_parity(session.result, setting, source)
+
+    def test_wrong_source_rejected(self):
+        setting = _anchored_setting()
+        source = _anchored_source(5)
+        ledger = self._solved_ledger(setting, source)
+        other = _anchored_source(6)
+        with pytest.raises(ReproError):
+            DeltaSession.from_ledger(setting, other, ledger.dumps())
+
+    def test_resume_records_into_supplied_ledger(self):
+        from repro.obs.provenance import ProvenanceLedger
+
+        setting = _anchored_setting()
+        source = _anchored_source(6)
+        persisted = self._solved_ledger(setting, source)
+        outer = ProvenanceLedger()
+        session = DeltaSession.from_ledger(
+            setting, source, persisted.dumps(), ledger=outer
+        )
+        assert session.ledger is outer
+        victim = sorted(source)[1]
+        session.apply(SourceDelta(deletions=[victim]))
+        assert "deleted by delta" in outer.why_not(victim)
+
+
+class TestCacheWiring:
+    def test_session_results_hit_batch_solves(self, tmp_path):
+        setting = _anchored_setting()
+        source = _anchored_source(8)
+        cache = ResultCache(tmp_path / "cache")
+        session = DeltaSession(setting, source, cache=cache)
+        victim = sorted(source)[3]
+        session.apply(SourceDelta(deletions=[victim]))
+        edited = session.source
+        obs.reset()
+        batch = solve(setting, edited, engine="seminaive", cache=cache)
+        assert obs.counter("solve.cache_hits").value == 1
+        assert _fp(batch.core_solution) == _fp(
+            session.result.core_solution
+        )
+
+
+class TestFingerprintCache:
+    def test_fingerprint_cached_until_mutation(self):
+        instance = parse_instance("M('a','b'), N('a','c')")
+        first = fingerprint_instance(instance, canonical=True)
+        before = obs.counter("fingerprint.cache_hits").value
+        assert fingerprint_instance(instance, canonical=True) == first
+        assert obs.counter("fingerprint.cache_hits").value == before + 1
+        instance.add(next(iter(parse_instance("M('x','y')"))))
+        changed = fingerprint_instance(instance, canonical=True)
+        assert changed != first
+        assert obs.counter("fingerprint.cache_hits").value == before + 1
+
+    def test_canonical_cached_and_idempotent(self):
+        source = example_2_1_scaled_source(5, seed=8)
+        result = solve(example_2_1_setting(), source)
+        canonical = result.core_solution.canonical()
+        before = obs.counter("fingerprint.cache_hits").value
+        assert result.core_solution.canonical() is canonical
+        assert obs.counter("fingerprint.cache_hits").value == before + 1
+        # A canonical instance is its own canonical form, cached too.
+        assert canonical.canonical() is canonical
+
+    def test_copy_carries_caches_and_invalidates_independently(self):
+        instance = parse_instance("M('a','b')")
+        fp = fingerprint_instance(instance, canonical=True)
+        clone = instance.copy()
+        before = obs.counter("fingerprint.cache_hits").value
+        assert fingerprint_instance(clone, canonical=True) == fp
+        assert obs.counter("fingerprint.cache_hits").value == before + 1
+        clone.add(next(iter(parse_instance("N('a','c')"))))
+        assert fingerprint_instance(clone, canonical=True) != fp
+        assert fingerprint_instance(instance, canonical=True) == fp
+
+
+class TestCliIncremental:
+    def test_solve_incremental_from_matches_batch(self, tmp_path):
+        from repro.cli import main
+
+        setting_path = tmp_path / "setting.txt"
+        setting_path.write_text(
+            "source: R/2\ntarget: A/2 B/2 C/2\n"
+            "st: R(x,y) -> exists z . A(x,z) & B(z,y)\n"
+            "target-dep: B(z,y) -> exists w . C(y,w)\n",
+            encoding="utf-8",
+        )
+        source_path = tmp_path / "source.txt"
+        source_path.write_text(
+            ", ".join(f"R('s{i}','t{i}')" for i in range(6)),
+            encoding="utf-8",
+        )
+        ledger_path = tmp_path / "ledger.json"
+        assert (
+            main(
+                [
+                    "solve",
+                    str(setting_path),
+                    str(source_path),
+                    "--provenance",
+                    str(ledger_path),
+                ]
+            )
+            == 0
+        )
+        delta_path = tmp_path / "edit.delta"
+        delta_path.write_text(
+            "+ R('new1','new2')\n- R('s0','t0')\n", encoding="utf-8"
+        )
+        updated_ledger = tmp_path / "ledger2.json"
+        assert (
+            main(
+                [
+                    "solve",
+                    str(setting_path),
+                    str(source_path),
+                    "--incremental-from",
+                    str(ledger_path),
+                    "--delta",
+                    str(delta_path),
+                    "--provenance",
+                    str(updated_ledger),
+                    "--fingerprint",
+                ]
+            )
+            == 0
+        )
+        # Fingerprint parity with a batch solve of the edited source.
+        edited_path = tmp_path / "edited.txt"
+        edited_path.write_text(
+            ", ".join(f"R('s{i}','t{i}')" for i in range(1, 6))
+            + ", R('new1','new2')",
+            encoding="utf-8",
+        )
+        from repro.cli import load_setting, load_instance
+
+        setting = load_setting(str(setting_path))
+        edited = load_instance(str(edited_path), setting)
+        batch = solve(setting, edited, engine="seminaive")
+        from repro.obs.provenance import ProvenanceLedger
+
+        resumed = ProvenanceLedger.loads(
+            updated_ledger.read_text(encoding="utf-8")
+        )
+        session = DeltaSession.from_ledger(setting, edited, resumed)
+        assert _fp(session.result.core_solution) == _fp(batch.core_solution)
+
+    def test_delta_bench_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        setting_path = tmp_path / "setting.txt"
+        setting_path.write_text(
+            "source: R/2\ntarget: A/2 B/2\n"
+            "st: R(x,y) -> exists z . A(x,z) & B(z,y)\n",
+            encoding="utf-8",
+        )
+        source_path = tmp_path / "source.txt"
+        source_path.write_text(
+            ", ".join(f"R('s{i}','t{i}')" for i in range(10)),
+            encoding="utf-8",
+        )
+        assert (
+            main(
+                [
+                    "delta-bench",
+                    str(setting_path),
+                    str(source_path),
+                    "--edits",
+                    "2",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "speedup" in out and "MISMATCH" not in out
+
+
+# ----------------------------------------------------------------------
+# Property: random edit streams keep fingerprint parity
+# ----------------------------------------------------------------------
+
+_SETTING_SEEDS = st.integers(min_value=0, max_value=14)
+_EDIT_SCRIPTS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),  # deletion pick
+        st.integers(min_value=0, max_value=2),  # insertions count
+        st.integers(min_value=0, max_value=1),  # deletions count
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestEditStreamParity:
+    @given(seed=_SETTING_SEEDS, script=_EDIT_SCRIPTS)
+    @settings(max_examples=25, deadline=None)
+    def test_random_edit_streams(self, seed, script):
+        setting = random_weakly_acyclic_setting(seed, egd_probability=0.4)
+        source = random_source_for(setting, seed=seed + 1)
+        try:
+            session = DeltaSession(setting, source)
+        except Exception:
+            return  # divergent/failed base instances are out of scope here
+        fresh = 0
+        for pick, insert_count, delete_count in script:
+            atoms = sorted(session.source)
+            deletions = []
+            if delete_count and atoms:
+                deletions.append(atoms[pick % len(atoms)])
+            insertions = []
+            for _ in range(insert_count):
+                template = atoms[(pick + fresh) % len(atoms)] if atoms else None
+                if template is None:
+                    break
+                fresh += 1
+                insertions.append(
+                    Atom(
+                        template.relation,
+                        tuple(
+                            Const(f"h{fresh}_{i}")
+                            for i in range(template.relation.arity)
+                        ),
+                    )
+                )
+            delta = SourceDelta(
+                insertions=Instance(insertions),
+                deletions=Instance(deletions),
+            )
+            result = session.apply(delta)
+            batch = solve(setting, session.source, engine="seminaive")
+            assert result.cwa_solution_exists == batch.cwa_solution_exists
+            if batch.cwa_solution_exists:
+                assert _fp(result.core_solution) == _fp(batch.core_solution)
+
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_example_2_1_single_edits(self, seed):
+        setting = example_2_1_setting()
+        source = example_2_1_scaled_source(8, seed=seed)
+        session = DeltaSession(setting, source)
+        atoms = sorted(source)
+        victim = atoms[seed % len(atoms)]
+        result = session.apply(SourceDelta(deletions=[victim]))
+        _assert_parity(result, setting, session.source)
